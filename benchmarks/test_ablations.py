@@ -1,0 +1,62 @@
+"""Design-choice ablation benches (DESIGN.md §4).
+
+Four studies: the differentiation step PyBlaz drops relative to Blaz, the orthonormal
+transform choice, the execution backend, and the bin-index width.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionSettings, Compressor
+from repro.experiments import ablations
+from repro.parallel import LoopExecutor, ThreadedExecutor
+
+from conftest import write_result
+
+
+def test_ablation_differentiation(benchmark, results_dir):
+    """Skipping Blaz's differentiation step keeps compressed-space addition accurate."""
+    result = benchmark.pedantic(ablations.run_differentiation, rounds=1, iterations=1)
+    write_result(results_dir, "ablation_differentiation", ablations.format_result(result))
+    values = dict(result.rows)
+    assert values["pyblaz compressed-space add"] <= values["blaz compressed-space add"]
+
+
+def test_ablation_transforms(benchmark, results_dir):
+    """DCT vs Haar vs identity at equal storage cost."""
+    result = benchmark.pedantic(ablations.run_transforms, rounds=1, iterations=1)
+    write_result(results_dir, "ablation_transforms", ablations.format_result(result))
+    by_transform = {row[0]: row for row in result.rows}
+    # decorrelating transforms keep the mean-family operations available; identity
+    # has no DC property, which the table records as NaN
+    assert np.isnan(by_transform["identity"][3])
+    assert by_transform["dct"][3] < 1e-2
+
+
+def test_ablation_backends(benchmark, results_dir):
+    """Vectorized vs thread-pool vs per-block loop execution: identical results."""
+    result = benchmark.pedantic(ablations.run_backends, rounds=1, iterations=1)
+    write_result(results_dir, "ablation_backends", ablations.format_result(result))
+    assert all(row[1] for row in result.rows)
+
+
+def test_ablation_index_width(benchmark, results_dir):
+    """int8 … int64 against round-trip error and compression ratio."""
+    result = benchmark.pedantic(ablations.run_index_width, rounds=1, iterations=1)
+    write_result(results_dir, "ablation_index_width", ablations.format_result(result))
+    errors = [row[1] for row in result.rows]
+    ratios = [row[2] for row in result.rows]
+    assert errors == sorted(errors, reverse=True)  # wider indices → monotonically lower error
+    assert ratios == sorted(ratios, reverse=True)  # and lower ratio
+
+
+@pytest.mark.parametrize("backend", ["vectorized", "threads", "loop"])
+def test_backend_compress_cost(benchmark, backend):
+    """Wall-clock cost of each execution backend on a mid-size 3-D array."""
+    settings = CompressionSettings(block_shape=(4, 4, 4), float_format="float32",
+                                   index_dtype="int16")
+    executor = {"vectorized": None, "threads": ThreadedExecutor(4), "loop": LoopExecutor()}[backend]
+    compressor = Compressor(settings, executor=executor)
+    rng = np.random.default_rng(0)
+    array = rng.random((48, 48, 48))
+    benchmark(compressor.compress, array)

@@ -1,0 +1,32 @@
+"""§IV-C — regenerate the compression-ratio worked examples and sweep."""
+
+import pytest
+
+from repro.core import CompressionSettings, Compressor
+from repro.core.codec import serialize
+from repro.experiments import compression_ratio
+from repro.simulators import gradient_array
+
+from conftest import write_result
+
+
+def test_ratio_sweep_table(benchmark, results_dir):
+    """Regenerate the §IV-C ratio table and check the two worked examples."""
+    result = benchmark.pedantic(compression_ratio.run, rounds=1, iterations=1)
+    write_result(results_dir, "compression_ratio", compression_ratio.format_result(result))
+    examples = compression_ratio.paper_examples()
+    assert examples[0][2] == pytest.approx(2.91, abs=0.01)
+    assert examples[1][2] == pytest.approx(10.66, abs=0.01)
+
+
+@pytest.mark.parametrize("index_dtype,expected_ratio", [("int8", 8.0), ("int16", 4.0)])
+def test_serialized_stream_matches_accounting(benchmark, index_dtype, expected_ratio):
+    """The actual byte stream approaches the asymptotic ratio for large arrays."""
+    settings = CompressionSettings(block_shape=(4, 4, 4), float_format="float32",
+                                   index_dtype=index_dtype)
+    compressor = Compressor(settings)
+    array = gradient_array((64, 64, 64))
+    compressed = compressor.compress(array)
+    stream = benchmark(serialize, compressed)
+    achieved = array.size * 8 / len(stream)
+    assert achieved == pytest.approx(expected_ratio, rel=0.15)

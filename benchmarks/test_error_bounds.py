@@ -1,0 +1,30 @@
+"""§IV-D — error-bound validation bench."""
+
+import pytest
+
+from repro.experiments import error_bounds
+
+from conftest import write_result
+
+
+def test_error_bounds_hold(benchmark, results_dir):
+    """Regenerate the §IV-D bound table; every observed/bound ratio must be <= 1."""
+    result = benchmark.pedantic(error_bounds.run, rounds=1, iterations=1)
+    write_result(results_dir, "error_bounds", error_bounds.format_result(result))
+    for index_type, binning_ratio, linf_ratio, l2_low, l2_high in result.rows:
+        assert binning_ratio <= 1.0 + 1e-9, index_type
+        assert linf_ratio <= 1.0 + 1e-9, index_type
+        assert l2_low == pytest.approx(1.0, rel=1e-6)
+        assert l2_high == pytest.approx(1.0, rel=1e-6)
+
+
+def test_error_bounds_with_pruning(benchmark, results_dir):
+    """Same validation with half the coefficients pruned (covers the pruning term)."""
+    config = error_bounds.ErrorBoundsConfig(keep_fraction=0.5)
+    result = benchmark.pedantic(error_bounds.run, args=(config,), rounds=1, iterations=1)
+    write_result(results_dir, "error_bounds_pruned", error_bounds.format_result(result))
+    for index_type, binning_ratio, linf_ratio, l2_low, l2_high in result.rows:
+        assert binning_ratio <= 1.0 + 1e-9, index_type
+        assert linf_ratio <= 1.0 + 1e-9, index_type
+        assert l2_low == pytest.approx(1.0, rel=1e-6)
+        assert l2_high == pytest.approx(1.0, rel=1e-6)

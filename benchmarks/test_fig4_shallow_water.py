@@ -1,0 +1,44 @@
+"""Fig 4 — shallow-water precision study: compressed-space difference capture."""
+
+import pytest
+
+from repro.core import CompressionSettings, Compressor, ops
+from repro.experiments import fig4_shallow_water
+from repro.simulators import ShallowWaterConfig, ShallowWaterSimulator
+
+from conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def surfaces():
+    """FP16 and FP32 surface heights from the same medium-length run."""
+    sim = ShallowWaterSimulator(ShallowWaterConfig(nx=64, ny=128))
+    low = sim.run(6000, "float16").final_height
+    high = sim.run(6000, "float32").final_height
+    return low, high
+
+
+def test_simulation_step_cost(benchmark):
+    """Cost of one precision-emulated simulation chunk (the workload generator)."""
+    sim = ShallowWaterSimulator(ShallowWaterConfig(nx=64, ny=128))
+    benchmark(sim.run, 50, "float16")
+
+
+def test_compressed_difference_cost(benchmark, surfaces):
+    """Cost of the compressed-space difference (negate + add) used by the figure."""
+    low, high = surfaces
+    settings = CompressionSettings(block_shape=(16, 16), float_format="float32",
+                                   index_dtype="int8")
+    compressor = Compressor(settings)
+    c_low, c_high = compressor.compress(low), compressor.compress(high)
+    benchmark(lambda: ops.add(c_low, ops.negate(c_high)))
+
+
+def test_fig4_difference_capture(benchmark, results_dir):
+    """Regenerate the Fig 4 quantitative comparison and check the capture claim."""
+    config = fig4_shallow_water.Fig4Config()
+    result = benchmark.pedantic(fig4_shallow_water.run, args=(config,), rounds=1, iterations=1)
+    write_result(results_dir, "fig4", fig4_shallow_water.format_result(result))
+    values = dict(result.rows)
+    assert values["max |FP16 − FP32| (uncompressed)"] > 0
+    assert values["correlation(uncompressed diff, compressed diff)"] > 0.5

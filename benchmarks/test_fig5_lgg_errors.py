@@ -1,0 +1,63 @@
+"""Fig 5 — error of compressed-space statistics vs compression settings on MRI-like data."""
+
+import math
+
+import pytest
+
+from repro.core import CompressionSettings, Compressor, ops
+from repro.experiments import fig5_lgg
+from repro.simulators import generate_mri_dataset
+
+from conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def volume():
+    return generate_mri_dataset(n_volumes=1, plane_size=128, seed=7)[0].data
+
+
+@pytest.mark.parametrize("block_shape", [(4, 4, 4), (8, 8, 8), (4, 16, 16)])
+@pytest.mark.parametrize("index_dtype", ["int8", "int16"])
+def test_compress_mri_volume(benchmark, volume, block_shape, index_dtype):
+    """Compression cost of one FLAIR-like volume under the Fig 5 setting grid."""
+    settings = CompressionSettings(block_shape=block_shape, float_format="float32",
+                                   index_dtype=index_dtype)
+    benchmark(Compressor(settings).compress, volume)
+
+
+@pytest.mark.parametrize("operation", ["mean", "variance", "l2_norm"])
+def test_scalar_function_cost(benchmark, volume, operation):
+    """Cost of the Fig 5 scalar functions in the compressed space."""
+    settings = CompressionSettings(block_shape=(4, 16, 16), float_format="float32",
+                                   index_dtype="int16")
+    compressed = Compressor(settings).compress(volume)
+    function = {"mean": ops.mean, "variance": ops.variance, "l2_norm": ops.l2_norm}[operation]
+    benchmark(function, compressed)
+
+
+def test_fig5_error_table(benchmark, results_dir):
+    """Regenerate the Fig 5 error/ratio table and check its qualitative findings."""
+    config = fig5_lgg.Fig5Config(n_volumes=4, plane_size=64)
+    result = benchmark.pedantic(fig5_lgg.run, args=(config,), rounds=1, iterations=1)
+    write_result(results_dir, "fig5", fig5_lgg.format_result(result))
+
+    def row(operation, block, float_format, index):
+        for r in result.rows:
+            if r[:4] == (operation, block, float_format, index):
+                return r
+        raise AssertionError("missing row")
+
+    # float32 ≈ float64; 16-bit float types are much worse on at least the variance
+    assert row("mean", "4x4x4", "float32", "int16")[4] == pytest.approx(
+        row("mean", "4x4x4", "float64", "int16")[4], rel=1.0, abs=1e-6
+    )
+    f16 = row("variance", "4x4x4", "float16", "int16")[4]
+    f32 = row("variance", "4x4x4", "float32", "int16")[4]
+    assert math.isnan(f16) or f16 >= f32 * 0.5
+
+    # the smallest blocks with int16 give the lowest (or tied) L2-norm error among blocks
+    best = row("l2_norm", "4x4x4", "float64", "int16")[4]
+    assert best <= row("l2_norm", "16x16x16", "float64", "int16")[4] * 1.5 + 1e-9
+
+    # non-hypercubic 4x16x16 compresses better than 8x8x8 on shallow volumes
+    assert row("mean", "4x16x16", "float32", "int16")[6] > row("mean", "8x8x8", "float32", "int16")[6]

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Detecting nuclear scission in compressed space (§V-C / Fig 6).
+
+Compresses every time step of a plutonium-fission-like neutron-density series
+(negative-log-transformed, 40×40×66 grid, block 16³, int16, FP32) and compares
+adjacent time steps without decompressing them:
+
+* with the compressed-space L2 norm of the difference (Fig 6a) — which finds the
+  scission but also shows misleading "noise" peaks, and
+* with the approximate compressed-space Wasserstein distance for increasing order p
+  (Fig 6b) — which progressively suppresses the noise peaks until only the scission
+  peak remains.
+
+Run with::
+
+    python examples/fission_scission.py [--orders 1 2 8 32 68]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import CompressionSettings, Compressor, ops
+from repro.simulators import generate_fission_series
+
+
+def sparkline(values, width: int = 40) -> str:
+    """Render a series as a one-line bar chart (normalised to its maximum)."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    peak = max(values) or 1.0
+    return "".join(blocks[min(int(v / peak * (len(blocks) - 1)), len(blocks) - 1)] for v in values)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--orders", type=float, nargs="+", default=[1, 2, 8, 32, 68],
+                        help="Wasserstein orders to sweep")
+    args = parser.parse_args()
+
+    print("generating fission density series (40x40x66, 15 time steps) ...")
+    series = generate_fission_series()
+    settings = CompressionSettings(block_shape=(16, 16, 16), float_format="float32",
+                                   index_dtype="int16")
+    compressor = Compressor(settings)
+    compressed = [compressor.compress(step) for step in series.log_densities]
+
+    pairs = series.adjacent_pairs()
+    labels = [f"{a}->{b}" for a, b in pairs]
+
+    # Fig 6a: adjacent-step L2 differences, compressed vs uncompressed
+    l2_compressed = [
+        ops.l2_norm(ops.subtract(compressed[i + 1], compressed[i]))
+        for i in range(series.n_steps - 1)
+    ]
+    l2_uncompressed = [
+        float(np.linalg.norm(series.log_densities[i + 1] - series.log_densities[i]))
+        for i in range(series.n_steps - 1)
+    ]
+    print("\n== Fig 6a: adjacent-step L2 norm of the difference ==")
+    print(f"{'pair':<10} {'uncompressed':>14} {'compressed':>14}")
+    for label, raw, comp in zip(labels, l2_uncompressed, l2_compressed):
+        print(f"{label:<10} {raw:>14.3f} {comp:>14.3f}")
+    deviation = max(abs(a - b) for a, b in zip(l2_uncompressed, l2_compressed))
+    print(f"max compressed-vs-uncompressed deviation: {deviation:.3f} "
+          f"(mean L2 {np.mean(l2_uncompressed):.1f})")
+    print("L2 series:          " + sparkline(l2_compressed))
+    detected = labels[int(np.argmax(l2_compressed))]
+    print(f"L2 detects the largest change at {detected}; note the secondary peaks at "
+          f"{labels[series.noise_indices[0]]} and {labels[series.noise_indices[-1]]}.")
+
+    # Fig 6b: Wasserstein sweep
+    print("\n== Fig 6b: approximate Wasserstein distance, increasing order ==")
+    for order in args.orders:
+        distances = [
+            ops.wasserstein_distance(compressed[i], compressed[i + 1], order=order)
+            for i in range(series.n_steps - 1)
+        ]
+        peak = labels[int(np.argmax(distances))]
+        print(f"p = {order:>5g}  {sparkline(distances)}  peak at {peak}")
+
+    scission = labels[series.scission_index]
+    print(f"\nKnown scission interval: {scission}.  As the order grows the misleading "
+          "peaks shrink relative to the scission peak, which every order localises "
+          "correctly — the paper's Fig 6b behaviour.")
+
+
+if __name__ == "__main__":
+    main()

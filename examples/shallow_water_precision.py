@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Shallow-water precision study (§V-A / Fig 4).
+
+Runs the same double-gyre shallow-water simulation twice — once at an emulated FP16
+working precision and once at FP32 — then localises where the two runs diverge using
+
+* the element-wise difference of the uncompressed surface heights, and
+* the compressed-space difference (negation + element-wise addition) of the two
+  surfaces compressed with an aggressive 16×16-block / int8 configuration,
+
+and reports how well the compressed-space difference captures the same perturbation
+regions.  This is the workflow the paper motivates for keeping long simulation time
+series in compressed form while still being able to analyse precision effects.
+
+Run with::
+
+    python examples/shallow_water_precision.py [--steps N] [--nx NX] [--ny NY]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import CompressionSettings, Compressor, ops
+from repro.simulators import ShallowWaterConfig, ShallowWaterSimulator
+
+
+def ascii_map(field: np.ndarray, rows: int = 16, cols: int = 48) -> str:
+    """Coarse ASCII rendering of |field| (the stand-in for the paper's color plots)."""
+    magnitude = np.abs(field)
+    row_edges = np.linspace(0, field.shape[0], rows + 1, dtype=int)
+    col_edges = np.linspace(0, field.shape[1], cols + 1, dtype=int)
+    levels = " .:-=+*#%@"
+    peak = magnitude.max() or 1.0
+    lines = []
+    for r in range(rows):
+        line = []
+        for c in range(cols):
+            cell = magnitude[row_edges[r]:row_edges[r + 1], col_edges[c]:col_edges[c + 1]]
+            value = cell.mean() / peak if cell.size else 0.0
+            line.append(levels[min(int(value * (len(levels) - 1) * 3), len(levels) - 1)])
+        lines.append("".join(line))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=8000, help="number of simulation steps")
+    parser.add_argument("--nx", type=int, default=64, help="grid points in x")
+    parser.add_argument("--ny", type=int, default=128, help="grid points in y")
+    args = parser.parse_args()
+
+    print(f"running shallow-water simulation ({args.nx}x{args.ny}, {args.steps} steps) "
+          "at FP16 and FP32 ...")
+    simulator = ShallowWaterSimulator(ShallowWaterConfig(nx=args.nx, ny=args.ny))
+    low = simulator.run(args.steps, precision="float16").final_height
+    high = simulator.run(args.steps, precision="float32").final_height
+
+    uncompressed_diff = low - high
+
+    settings = CompressionSettings(block_shape=(16, 16), float_format="float32",
+                                   index_dtype="int8")
+    compressor = Compressor(settings)
+    c_low, c_high = compressor.compress(low), compressor.compress(high)
+    compressed_diff = compressor.decompress(ops.add(c_low, ops.negate(c_high)))
+
+    print(f"\nsurface amplitude (FP32)        : {np.abs(high).max():.4f} m")
+    print(f"max |FP16 - FP32| (uncompressed): {np.abs(uncompressed_diff).max():.6f} m")
+    print(f"max |FP16 - FP32| (compressed)  : {np.abs(compressed_diff).max():.6f} m")
+    correlation = np.corrcoef(uncompressed_diff.ravel(), compressed_diff.ravel())[0, 1]
+    print(f"correlation of the two difference maps: {correlation:.3f}")
+
+    print("\nuncompressed |difference| map:")
+    print(ascii_map(uncompressed_diff))
+    print("\ncompressed-space |difference| map (computed without decompressing the inputs):")
+    print(ascii_map(compressed_diff))
+    print("\nThe bright regions coincide: the compressed-space difference captures the "
+          "same precision-induced perturbations the paper's Fig 4 highlights.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim so `python setup.py develop` works in offline environments without the
+`wheel` package (pip's PEP-660 editable path needs it); all metadata lives in
+pyproject.toml."""
+from setuptools import setup
+
+setup()

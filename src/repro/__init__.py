@@ -1,0 +1,51 @@
+"""repro — reproduction of "What Operations can be Performed Directly on Compressed
+Arrays, and with What Error?" (SC 2023 / DRBSD workshop; the PyBlaz compressor).
+
+The package is organised as:
+
+* :mod:`repro.core` — the PyBlaz-style compressor, compressed form, compressed-space
+  operations, codec and error analysis (the paper's contribution).
+* :mod:`repro.numerics` — reduced-precision floating-point emulation.
+* :mod:`repro.baselines` — Blaz, ZFP-like and SZ-like comparison compressors.
+* :mod:`repro.simulators` — shallow-water, MRI-like and fission-like data generators.
+* :mod:`repro.analysis` — uncompressed reference operations and error metrics.
+* :mod:`repro.parallel` — block-chunked (thread-parallel) execution backends.
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import CompressionSettings, Compressor, ops
+
+    settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
+                                   index_dtype="int16")
+    compressor = Compressor(settings)
+    x = compressor.compress(np.random.rand(64, 64))
+    y = compressor.compress(np.random.rand(64, 64))
+    print(ops.dot(x, y), ops.mean(x), ops.l2_norm(y))
+"""
+
+from .core import (
+    CompressedArray,
+    CompressionSettings,
+    Compressor,
+    asymptotic_compression_ratio,
+    compression_ratio,
+    deserialize,
+    serialize,
+)
+from .core import ops
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompressionSettings",
+    "Compressor",
+    "CompressedArray",
+    "ops",
+    "serialize",
+    "deserialize",
+    "compression_ratio",
+    "asymptotic_compression_ratio",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Baseline compressors the paper compares against (§II).
+
+* :mod:`repro.baselines.blaz` — the original Blaz compressor (Martel 2022):
+  2-dimensional FP64 arrays, 8×8 blocks, first-element differentiation, block-wise
+  DCT, 255-bin binning and corner pruning, with its two compressed-space operations
+  (addition and multiplication by a scalar).  Implemented block-by-block in pure
+  Python, as the single-threaded reference of Fig 2.
+* :mod:`repro.baselines.zfp_like` — a fixed-rate ZFP-style codec: 4ⁿ blocks, shared
+  block exponent, the ZFP lifting transform, negabinary coefficients and bit-plane
+  truncation to a fixed number of bits per value (Fig 3).
+* :mod:`repro.baselines.sz_like` — an SZ-style error-bounded codec: hierarchical
+  interpolation prediction, residual quantization against an absolute error bound,
+  and Huffman coding of the quantization codes.
+* :mod:`repro.baselines.huffman` — the canonical Huffman coder substrate used by the
+  SZ-like codec.
+"""
+
+from .blaz import BlazCompressed, BlazCompressor
+from .huffman import HuffmanCode, huffman_decode, huffman_encode
+from .sz_like import SZCompressed, SZCompressor
+from .zfp_like import ZFPCompressed, ZFPCompressor
+
+__all__ = [
+    "BlazCompressor",
+    "BlazCompressed",
+    "ZFPCompressor",
+    "ZFPCompressed",
+    "SZCompressor",
+    "SZCompressed",
+    "HuffmanCode",
+    "huffman_encode",
+    "huffman_decode",
+]

@@ -1,0 +1,234 @@
+"""The original Blaz compressor (Martel, "Compressed matrix computations", 2022).
+
+Blaz is the compressor PyBlaz descends from (§II-A(c)) and the baseline of the
+Fig 2 timing comparison.  Its pipeline, for 2-dimensional FP64 arrays:
+
+1. Block the input into 8×8 blocks (zero-padding partial blocks).
+2. **Differentiation** ("normalization" in the Blaz paper): keep the first element of
+   each block and replace every other element with the difference from the previous
+   element in row-major order.
+3. Apply a block-wise DCT to the differentiated blocks.
+4. Save the biggest coefficient of each block and bin the coefficients into 255 bins
+   indexed by 8-bit integers in [-127, 127].
+5. Prune the 6×6 square of indices in the high-frequency corner of each block and
+   flatten what remains.
+
+Decompression reverses the steps (unflatten with zeros, unbin, inverse DCT,
+integrate, merge blocks, crop).
+
+Two compressed-space operations are supported, mirroring the original system:
+:meth:`BlazCompressor.add` and :meth:`BlazCompressor.multiply_scalar`.  Because of
+the differentiation step the mean/variance/dot-product family available in PyBlaz has
+no Blaz counterpart — that is precisely the design difference the paper calls out
+(Fig 1 caption, §IV-A), and the ablation benchmark quantifies it.
+
+The implementation deliberately processes blocks one at a time in Python loops: Blaz
+is the *single-threaded* reference point of the performance comparison, so its cost
+model should scale with the number of blocks exactly as the original C implementation
+does (polynomially in the array size), not enjoy numpy's bulk vectorization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.transforms import dct_matrix
+
+__all__ = ["BlazCompressor", "BlazCompressed"]
+
+_BLOCK = 8
+_RADIUS = 127  # 255 bins indexed -127..127
+_KEEP = np.ones((_BLOCK, _BLOCK), dtype=bool)
+_KEEP[_BLOCK - 6 :, _BLOCK - 6 :] = False  # drop the 6x6 high-frequency corner
+
+
+@dataclass
+class BlazCompressed:
+    """Compressed form produced by :class:`BlazCompressor`.
+
+    Attributes
+    ----------
+    shape:
+        Original 2-D array shape.
+    firsts:
+        First element of each block (kept exactly), shape ``(grid_rows, grid_cols)``.
+    maxima:
+        Biggest DCT coefficient magnitude per block, same shape as ``firsts``.
+    indices:
+        Flattened kept bin indices per block, shape ``(n_blocks, kept)`` int8.
+    """
+
+    shape: tuple[int, int]
+    firsts: np.ndarray
+    maxima: np.ndarray
+    indices: np.ndarray
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        return self.firsts.shape
+
+    @property
+    def n_blocks(self) -> int:
+        return int(np.prod(self.firsts.shape))
+
+    def size_bytes(self) -> int:
+        """Stored size: firsts and maxima at 8 bytes each, indices at 1 byte each."""
+        return 8 * self.firsts.size + 8 * self.maxima.size + self.indices.size
+
+
+class BlazCompressor:
+    """Single-threaded Blaz codec for 2-dimensional float64 arrays."""
+
+    block_shape = (_BLOCK, _BLOCK)
+
+    def __init__(self) -> None:
+        self._dct = dct_matrix(_BLOCK)
+
+    # ------------------------------------------------------------------ helpers
+    @staticmethod
+    def _differentiate(block: np.ndarray) -> np.ndarray:
+        """Blaz's normalization step: encode each element as a difference from its
+        previous neighbour.
+
+        Within a row each element is replaced by its difference from the element to
+        its left; the first column is replaced by differences down the column.  The
+        block's first element maps to zero (it is stored exactly and separately in
+        ``firsts``), so a constant block differentiates to all zeros and round-trips
+        exactly, and smooth blocks produce small, low-frequency difference fields —
+        the property the subsequent DCT + corner pruning relies on.
+        """
+        block = np.asarray(block, dtype=np.float64)
+        out = np.empty_like(block)
+        out[:, 1:] = block[:, 1:] - block[:, :-1]
+        out[1:, 0] = block[1:, 0] - block[:-1, 0]
+        out[0, 0] = 0.0
+        return out
+
+    @staticmethod
+    def _integrate(block: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`_differentiate`: cumulative sums down the first column
+        and then along each row.
+
+        The result is relative to the block's first element; the caller re-anchors it
+        on the exactly stored first value.
+        """
+        out = np.array(block, dtype=np.float64)
+        out[:, 0] = np.cumsum(out[:, 0])
+        return np.cumsum(out, axis=1)
+
+    def _forward_dct(self, block: np.ndarray) -> np.ndarray:
+        return self._dct @ block @ self._dct.T
+
+    def _inverse_dct(self, coefficients: np.ndarray) -> np.ndarray:
+        return self._dct.T @ coefficients @ self._dct
+
+    @staticmethod
+    def _pad(array: np.ndarray) -> tuple[np.ndarray, tuple[int, int]]:
+        rows, cols = array.shape
+        pad_rows = (-rows) % _BLOCK
+        pad_cols = (-cols) % _BLOCK
+        padded = np.pad(array, ((0, pad_rows), (0, pad_cols)), mode="constant")
+        return padded, (rows, cols)
+
+    # ------------------------------------------------------------------ pipeline
+    def compress(self, array: np.ndarray) -> BlazCompressed:
+        """Compress a 2-dimensional float array."""
+        array = np.asarray(array, dtype=np.float64)
+        if array.ndim != 2:
+            raise ValueError(f"Blaz compresses 2-dimensional arrays, got ndim={array.ndim}")
+        if array.size == 0:
+            raise ValueError("cannot compress an empty array")
+        padded, shape = self._pad(array)
+        grid_rows = padded.shape[0] // _BLOCK
+        grid_cols = padded.shape[1] // _BLOCK
+        firsts = np.empty((grid_rows, grid_cols))
+        maxima = np.empty((grid_rows, grid_cols))
+        kept = int(_KEEP.sum())
+        indices = np.empty((grid_rows * grid_cols, kept), dtype=np.int8)
+        block_index = 0
+        for gi in range(grid_rows):
+            for gj in range(grid_cols):
+                block = padded[gi * _BLOCK : (gi + 1) * _BLOCK, gj * _BLOCK : (gj + 1) * _BLOCK]
+                firsts[gi, gj] = block[0, 0]
+                diff = self._differentiate(block)
+                coeff = self._forward_dct(diff)
+                biggest = np.abs(coeff).max()
+                maxima[gi, gj] = biggest
+                if biggest == 0.0:
+                    binned = np.zeros_like(coeff)
+                else:
+                    binned = np.rint(coeff * (_RADIUS / biggest))
+                binned = np.clip(binned, -_RADIUS, _RADIUS)
+                indices[block_index] = binned[_KEEP].astype(np.int8)
+                block_index += 1
+        return BlazCompressed(shape=shape, firsts=firsts, maxima=maxima, indices=indices)
+
+    def decompress(self, compressed: BlazCompressed) -> np.ndarray:
+        """Reconstruct the array from its Blaz compressed form."""
+        grid_rows, grid_cols = compressed.grid_shape
+        out = np.zeros((grid_rows * _BLOCK, grid_cols * _BLOCK))
+        block_index = 0
+        for gi in range(grid_rows):
+            for gj in range(grid_cols):
+                coeff = np.zeros((_BLOCK, _BLOCK))
+                coeff[_KEEP] = compressed.indices[block_index].astype(np.float64)
+                coeff *= compressed.maxima[gi, gj] / _RADIUS
+                diff = self._inverse_dct(coeff)
+                block = self._integrate(diff)
+                # re-anchor on the exactly stored first element
+                block += compressed.firsts[gi, gj] - block[0, 0]
+                out[gi * _BLOCK : (gi + 1) * _BLOCK, gj * _BLOCK : (gj + 1) * _BLOCK] = block
+                block_index += 1
+        rows, cols = compressed.shape
+        return out[:rows, :cols]
+
+    # ------------------------------------------------------------------ compressed ops
+    def add(self, a: BlazCompressed, b: BlazCompressed) -> BlazCompressed:
+        """Compressed-space element-wise addition (the operation Blaz supports).
+
+        Differences are linear, the DCT is linear and the first elements add, so the
+        sum is formed by adding the scaled coefficients and the firsts, then
+        re-binning — block by block, as the original implementation does.
+        """
+        if a.shape != b.shape or a.grid_shape != b.grid_shape:
+            raise ValueError("Blaz addition requires identically shaped operands")
+        firsts = a.firsts + b.firsts
+        maxima = np.empty_like(a.maxima)
+        indices = np.empty_like(a.indices)
+        for block_index in range(a.n_blocks):
+            gi, gj = divmod(block_index, a.grid_shape[1])
+            coeff_a = np.zeros((_BLOCK, _BLOCK))
+            coeff_a[_KEEP] = a.indices[block_index].astype(np.float64)
+            coeff_a *= a.maxima[gi, gj] / _RADIUS
+            coeff_b = np.zeros((_BLOCK, _BLOCK))
+            coeff_b[_KEEP] = b.indices[block_index].astype(np.float64)
+            coeff_b *= b.maxima[gi, gj] / _RADIUS
+            total = coeff_a + coeff_b
+            biggest = np.abs(total).max()
+            maxima[gi, gj] = biggest
+            if biggest == 0.0:
+                binned = np.zeros((_BLOCK, _BLOCK))
+            else:
+                binned = np.clip(np.rint(total * (_RADIUS / biggest)), -_RADIUS, _RADIUS)
+            indices[block_index] = binned[_KEEP].astype(np.int8)
+        return BlazCompressed(shape=a.shape, firsts=firsts, maxima=maxima, indices=indices)
+
+    def multiply_scalar(self, a: BlazCompressed, scalar: float) -> BlazCompressed:
+        """Compressed-space multiplication by a scalar (block-by-block)."""
+        if not np.isfinite(scalar):
+            raise ValueError("scalar must be finite")
+        scalar = float(scalar)
+        firsts = np.empty_like(a.firsts)
+        maxima = np.empty_like(a.maxima)
+        indices = np.empty_like(a.indices)
+        sign = -1 if scalar < 0 else 1
+        for block_index in range(a.n_blocks):
+            gi, gj = divmod(block_index, a.grid_shape[1])
+            firsts[gi, gj] = a.firsts[gi, gj] * scalar
+            maxima[gi, gj] = a.maxima[gi, gj] * abs(scalar)
+            indices[block_index] = np.clip(
+                a.indices[block_index].astype(np.int16) * sign, -_RADIUS, _RADIUS
+            ).astype(np.int8)
+        return BlazCompressed(shape=a.shape, firsts=firsts, maxima=maxima, indices=indices)

@@ -1,0 +1,189 @@
+"""Canonical Huffman coding substrate.
+
+SZ (§II-A(b)) quantizes prediction residuals and entropy-codes the quantization
+codes with Huffman coding; the SZ-like baseline in :mod:`repro.baselines.sz_like`
+does the same, using this module.  The coder works on arbitrary integer symbol
+arrays, builds a canonical code (so only the code lengths need to be stored), and
+packs the encoded symbols into a byte string whose length is what the compression
+ratio accounting measures.
+
+The implementation is deliberately self-contained (heapq-based tree construction,
+numpy-vectorised encoding/decoding via table lookups) — no external compression
+libraries are used anywhere in this repository.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HuffmanCode", "huffman_encode", "huffman_decode", "code_lengths"]
+
+
+def code_lengths(symbols: np.ndarray, counts: np.ndarray) -> dict[int, int]:
+    """Huffman code length for each distinct symbol given its occurrence count.
+
+    A single-symbol alphabet gets length 1.  Ties are broken deterministically by
+    symbol value so encode/decode agree across runs.
+    """
+    symbols = np.asarray(symbols)
+    counts = np.asarray(counts)
+    if symbols.size != counts.size:
+        raise ValueError("symbols and counts must have equal length")
+    if symbols.size == 0:
+        return {}
+    if symbols.size == 1:
+        return {int(symbols[0]): 1}
+    # heap entries: (count, tiebreak, node) where node is either a symbol or a list
+    heap: list[tuple[int, int, object]] = []
+    for tiebreak, (symbol, count) in enumerate(sorted(zip(symbols.tolist(), counts.tolist()))):
+        heapq.heappush(heap, (int(count), tiebreak, int(symbol)))
+    next_tiebreak = len(heap)
+    lengths: dict[int, int] = {int(s): 0 for s in symbols.tolist()}
+    # classic two-smallest merge; track depth increments by merging member lists
+    members: dict[int, list[int]] = {}
+    heap2: list[tuple[int, int, int]] = []
+    for count, tiebreak, symbol in heap:
+        members[tiebreak] = [symbol]  # type: ignore[list-item]
+        heapq.heappush(heap2, (count, tiebreak, tiebreak))
+    while len(heap2) > 1:
+        c1, _, id1 = heapq.heappop(heap2)
+        c2, _, id2 = heapq.heappop(heap2)
+        merged = members[id1] + members[id2]
+        for symbol in merged:
+            lengths[symbol] += 1
+        members[next_tiebreak] = merged
+        heapq.heappush(heap2, (c1 + c2, next_tiebreak, next_tiebreak))
+        next_tiebreak += 1
+    return lengths
+
+
+@dataclass
+class HuffmanCode:
+    """A canonical Huffman code plus the encoded payload.
+
+    Attributes
+    ----------
+    symbols:
+        The distinct symbols, sorted by (code length, symbol value) — canonical order.
+    lengths:
+        Code length of each symbol in ``symbols``.
+    payload:
+        The packed bitstream as bytes.
+    bit_length:
+        Number of meaningful bits in ``payload``.
+    count:
+        Number of encoded symbols.
+    """
+
+    symbols: np.ndarray
+    lengths: np.ndarray
+    payload: bytes
+    bit_length: int
+    count: int
+
+    def size_bytes(self) -> int:
+        """Payload plus a simple table cost (symbol + length per entry)."""
+        table = self.symbols.size * (self.symbols.dtype.itemsize + 1)
+        return len(self.payload) + table
+
+
+def _canonical_codes(symbols: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical code values (as integers) given canonical-ordered lengths."""
+    codes = np.zeros(symbols.size, dtype=np.uint64)
+    code = 0
+    previous_length = int(lengths[0]) if lengths.size else 0
+    for position in range(symbols.size):
+        length = int(lengths[position])
+        code <<= length - previous_length
+        codes[position] = code
+        code += 1
+        previous_length = length
+    return codes
+
+
+def huffman_encode(values: np.ndarray) -> HuffmanCode:
+    """Encode an integer array with a canonical Huffman code."""
+    values = np.asarray(values)
+    if values.dtype.kind not in "iu":
+        raise ValueError("Huffman coding operates on integer symbol arrays")
+    flat = values.ravel()
+    if flat.size == 0:
+        return HuffmanCode(
+            symbols=np.empty(0, dtype=np.int64),
+            lengths=np.empty(0, dtype=np.uint8),
+            payload=b"",
+            bit_length=0,
+            count=0,
+        )
+    uniques, counts = np.unique(flat, return_counts=True)
+    length_map = code_lengths(uniques, counts)
+    # canonical order: (length, symbol)
+    order = sorted(length_map.items(), key=lambda item: (item[1], item[0]))
+    symbols = np.array([symbol for symbol, _ in order], dtype=np.int64)
+    lengths = np.array([length for _, length in order], dtype=np.uint8)
+    codes = _canonical_codes(symbols, lengths)
+
+    # map each value to its (code, length) via searchsorted on the symbol table
+    lookup = np.argsort(symbols)
+    sorted_symbols = symbols[lookup]
+    positions = lookup[np.searchsorted(sorted_symbols, flat)]
+    value_codes = codes[positions]
+    value_lengths = lengths[positions].astype(np.int64)
+
+    # pack bits MSB-first
+    total_bits = int(value_lengths.sum())
+    ends = np.cumsum(value_lengths)
+    starts = ends - value_lengths
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    max_length = int(value_lengths.max())
+    for bit in range(max_length):
+        # for every symbol long enough, write bit `bit` (counting from the MSB)
+        selector = value_lengths > bit
+        if not selector.any():
+            continue
+        shifts = (value_lengths[selector] - 1 - bit).astype(np.uint64)
+        bit_values = (value_codes[selector] >> shifts) & np.uint64(1)
+        bits[starts[selector] + bit] = bit_values.astype(np.uint8)
+    payload = np.packbits(bits).tobytes()
+    return HuffmanCode(
+        symbols=symbols,
+        lengths=lengths,
+        payload=payload,
+        bit_length=total_bits,
+        count=int(flat.size),
+    )
+
+
+def huffman_decode(code: HuffmanCode) -> np.ndarray:
+    """Decode a :class:`HuffmanCode` back into its symbol array."""
+    if code.count == 0:
+        return np.empty(0, dtype=np.int64)
+    codes = _canonical_codes(code.symbols, code.lengths)
+    # decoding table keyed by (length, code value)
+    table: dict[tuple[int, int], int] = {
+        (int(code.lengths[i]), int(codes[i])): int(code.symbols[i])
+        for i in range(code.symbols.size)
+    }
+    max_length = int(code.lengths.max())
+    bits = np.unpackbits(np.frombuffer(code.payload, dtype=np.uint8), count=code.bit_length)
+    out = np.empty(code.count, dtype=np.int64)
+    position = 0
+    current = 0
+    current_length = 0
+    produced = 0
+    while produced < code.count:
+        current = (current << 1) | int(bits[position])
+        position += 1
+        current_length += 1
+        key = (current_length, current)
+        if key in table:
+            out[produced] = table[key]
+            produced += 1
+            current = 0
+            current_length = 0
+        elif current_length > max_length:  # pragma: no cover - corrupted stream
+            raise ValueError("invalid Huffman stream")
+    return out

@@ -1,0 +1,253 @@
+"""A fixed-rate ZFP-style transform codec (the Fig 3 comparison baseline).
+
+ZFP (Lindstrom 2014, §II-A(a)) compresses d-dimensional floating-point arrays by:
+
+1. partitioning the array into blocks of 4 in every direction,
+2. converting each block to a **block floating-point** representation — all values
+   share the exponent of the largest-magnitude element and become fixed-point
+   integers,
+3. applying a near-orthogonal **lifting transform** separably along every direction,
+4. converting the transform coefficients to **negabinary** (base −2) so that sign
+   information is spread over the bit planes, and
+5. encoding bit planes from most to least significant, truncating at a fixed bit
+   budget per block (fixed-rate mode — the only mode ZFP's CUDA path supports, and
+   the mode the paper benchmarks against).
+
+This module implements exactly those stages for 1- to 3-dimensional arrays, with the
+documented ZFP forward/inverse transform matrices
+
+    forward = 1/16 · [[ 4,  4,  4,  4],          inverse = 1/4 · [[4,  6, -4, -1],
+                      [ 5,  1, -1, -5],                            [4,  2,  4,  5],
+                      [-4,  4,  4, -4],                            [4, -2,  4, -5],
+                      [-2,  6, -6,  2]]                            [4, -6, -4,  1]]
+
+applied in floating point, 30-bit fixed-point significands, and per-block bit-plane
+truncation to ``bits_per_value × block_size`` bits.  It is *not* a bit-compatible
+reimplementation of the zfp stream format — what matters for the reproduction is
+that compression and decompression exercise the same pipeline stages with the same
+asymptotic cost and comparable error behaviour at a given rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ZFPCompressor", "ZFPCompressed"]
+
+_BLOCK = 4
+_PRECISION = 30  # fixed-point bits for block-floating-point significands
+_EXPONENT_BITS = 16  # per-block exponent storage
+
+_FORWARD = np.array(
+    [
+        [4.0, 4.0, 4.0, 4.0],
+        [5.0, 1.0, -1.0, -5.0],
+        [-4.0, 4.0, 4.0, -4.0],
+        [-2.0, 6.0, -6.0, 2.0],
+    ]
+) / 16.0
+
+_INVERSE = np.array(
+    [
+        [4.0, 6.0, -4.0, -1.0],
+        [4.0, 2.0, 4.0, 5.0],
+        [4.0, -2.0, 4.0, -5.0],
+        [4.0, -6.0, -4.0, 1.0],
+    ]
+) / 4.0
+
+
+@dataclass
+class ZFPCompressed:
+    """Compressed form produced by :class:`ZFPCompressor`.
+
+    Attributes
+    ----------
+    shape:
+        Original array shape.
+    exponents:
+        Per-block shared exponent (int16), shape = block grid.
+    planes:
+        Per-block negabinary coefficients with the discarded low bit planes zeroed,
+        stored as uint64 of shape ``(n_blocks, 4**ndim)``.
+    bits_per_value:
+        The fixed rate this array was compressed at.
+    kept_planes:
+        Number of bit planes kept per block (derived from the rate).
+    """
+
+    shape: tuple[int, ...]
+    exponents: np.ndarray
+    planes: np.ndarray
+    bits_per_value: int
+    kept_planes: int
+
+    @property
+    def grid_shape(self) -> tuple[int, ...]:
+        return self.exponents.shape
+
+    @property
+    def n_blocks(self) -> int:
+        return int(np.prod(self.exponents.shape))
+
+    def size_bits(self) -> int:
+        """Stored size under the fixed-rate budget (exponent + kept planes per block)."""
+        block_size = self.planes.shape[1]
+        per_block = _EXPONENT_BITS + self.kept_planes * block_size
+        return self.n_blocks * per_block
+
+    def size_bytes(self) -> int:
+        return (self.size_bits() + 7) // 8
+
+
+class ZFPCompressor:
+    """Fixed-rate ZFP-style codec for 1- to 3-dimensional float arrays.
+
+    Parameters
+    ----------
+    bits_per_value:
+        The rate in bits per array element.  The paper's Fig 3 uses 8, 16 and 32
+        bits per scalar on FP64 data, i.e. ratios of approximately 8, 4 and 2.
+    """
+
+    def __init__(self, bits_per_value: int = 16):
+        bits_per_value = int(bits_per_value)
+        if bits_per_value < 1:
+            raise ValueError("bits_per_value must be positive")
+        self.bits_per_value = bits_per_value
+
+    # ------------------------------------------------------------------ helpers
+    @staticmethod
+    def _block(array: np.ndarray) -> tuple[np.ndarray, tuple[int, ...], tuple[int, ...]]:
+        """Pad to multiples of 4 and reshape to ``(n_blocks, 4, [4, [4]])``."""
+        ndim = array.ndim
+        pads = [(0, (-extent) % _BLOCK) for extent in array.shape]
+        padded = np.pad(array, pads, mode="constant")
+        grid = tuple(extent // _BLOCK for extent in padded.shape)
+        # interleave (g0, 4, g1, 4, ...) then bring grid axes to the front
+        interleaved = padded.reshape(
+            tuple(val for g in grid for val in (g, _BLOCK))
+        )
+        grid_axes = tuple(range(0, 2 * ndim, 2))
+        block_axes = tuple(range(1, 2 * ndim, 2))
+        blocked = np.transpose(interleaved, grid_axes + block_axes)
+        n_blocks = int(np.prod(grid))
+        return blocked.reshape((n_blocks,) + (_BLOCK,) * ndim), grid, padded.shape
+
+    @staticmethod
+    def _unblock(
+        blocks: np.ndarray, grid: tuple[int, ...], padded_shape: tuple[int, ...]
+    ) -> np.ndarray:
+        ndim = len(grid)
+        blocked = blocks.reshape(grid + (_BLOCK,) * ndim)
+        order = []
+        for d in range(ndim):
+            order.append(d)
+            order.append(ndim + d)
+        interleaved = np.transpose(blocked, order)
+        return interleaved.reshape(padded_shape)
+
+    @staticmethod
+    def _apply_transform(blocks: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+        """Apply ``matrix`` separably along every block axis (axis 0 is the block index)."""
+        result = blocks
+        ndim = blocks.ndim - 1
+        for axis in range(1, ndim + 1):
+            result = np.tensordot(result, matrix, axes=([axis], [1]))
+            result = np.moveaxis(result, -1, axis)
+        return result
+
+    @staticmethod
+    def _to_negabinary(values: np.ndarray) -> np.ndarray:
+        """Map signed 64-bit integers to their negabinary (base −2) encodings."""
+        mask = np.uint64(0xAAAAAAAAAAAAAAAA)
+        as_unsigned = values.astype(np.int64).view(np.uint64)
+        return (as_unsigned + mask) ^ mask
+
+    @staticmethod
+    def _from_negabinary(values: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`_to_negabinary`."""
+        mask = np.uint64(0xAAAAAAAAAAAAAAAA)
+        return ((values ^ mask) - mask).view(np.int64)
+
+    # ------------------------------------------------------------------ pipeline
+    def compress(self, array: np.ndarray) -> ZFPCompressed:
+        """Compress an array at the configured fixed rate."""
+        array = np.asarray(array, dtype=np.float64)
+        if array.ndim < 1 or array.ndim > 3:
+            raise ValueError("the ZFP-like codec supports 1- to 3-dimensional arrays")
+        if array.size == 0:
+            raise ValueError("cannot compress an empty array")
+        if not np.all(np.isfinite(array)):
+            raise ValueError("input contains non-finite values")
+        ndim = array.ndim
+        blocks, grid, _ = self._block(array)
+        block_size = _BLOCK**ndim
+
+        # Block floating point: shared exponent of the largest magnitude per block.
+        maxima = np.abs(blocks).reshape(blocks.shape[0], -1).max(axis=1)
+        # frexp: max = m * 2**e with m in [0.5, 1); all-zero blocks get exponent 0.
+        _, exponents = np.frexp(maxima)
+        exponents = np.where(maxima == 0.0, 0, exponents).astype(np.int16)
+        scale = np.ldexp(1.0, _PRECISION - exponents.astype(np.int32))
+        scale = scale.reshape((-1,) + (1,) * ndim)
+        fixed = np.rint(blocks * scale).astype(np.int64)
+
+        # Lifting transform (floating point on the fixed-point integers, re-rounded).
+        coefficients = np.rint(self._apply_transform(fixed.astype(np.float64), _FORWARD))
+        coefficients = np.clip(coefficients, -(2**62), 2**62).astype(np.int64)
+
+        # Negabinary + bit-plane truncation to the fixed budget.  As in zfp's embedded
+        # coding, bit planes are counted from the highest *used* plane of each block
+        # (all-zero leading planes cost essentially nothing in the real codec), so the
+        # kept planes are the most significant ones actually present in the block.
+        nega = self._to_negabinary(coefficients).reshape(blocks.shape[0], block_size)
+        budget_bits = self.bits_per_value * block_size
+        kept_planes = max(0, (budget_bits - _EXPONENT_BITS) // block_size)
+        kept_planes = min(kept_planes, 64)
+        if kept_planes >= 64:
+            planes = nega
+        elif kept_planes == 0:
+            planes = np.zeros_like(nega)
+        else:
+            block_max = nega.max(axis=1)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                lengths = np.floor(np.log2(np.maximum(block_max.astype(np.float64), 1.0)))
+            bit_length = np.where(block_max > 0, lengths.astype(np.int64) + 1, 0)
+            drop = np.clip(bit_length - kept_planes, 0, 63).astype(np.uint64)
+            plane_mask = np.left_shift(
+                np.uint64(0xFFFFFFFFFFFFFFFF), drop
+            ).reshape(-1, 1)
+            planes = nega & plane_mask
+
+        return ZFPCompressed(
+            shape=array.shape,
+            exponents=exponents.reshape(grid),
+            planes=planes,
+            bits_per_value=self.bits_per_value,
+            kept_planes=kept_planes,
+        )
+
+    def decompress(self, compressed: ZFPCompressed) -> np.ndarray:
+        """Reconstruct an array from its ZFP-like compressed form."""
+        shape = compressed.shape
+        ndim = len(shape)
+        grid = compressed.grid_shape
+        block_size = _BLOCK**ndim
+        padded_shape = tuple(g * _BLOCK for g in grid)
+
+        coefficients = self._from_negabinary(compressed.planes).astype(np.float64)
+        coefficients = coefficients.reshape((compressed.n_blocks,) + (_BLOCK,) * ndim)
+        fixed = self._apply_transform(coefficients, _INVERSE)
+        exponents = compressed.exponents.reshape(-1).astype(np.int32)
+        scale = np.ldexp(1.0, exponents - _PRECISION).reshape((-1,) + (1,) * ndim)
+        blocks = fixed * scale
+        padded = self._unblock(blocks, grid, padded_shape)
+        return padded[tuple(slice(0, extent) for extent in shape)]
+
+    # ------------------------------------------------------------------ reporting
+    def compression_ratio(self, array_shape: tuple[int, ...], input_bits: int = 64) -> float:
+        """Nominal compression ratio at this fixed rate for ``input_bits`` inputs."""
+        return float(input_bits) / float(self.bits_per_value)

@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` console script.
+
+Subcommands
+-----------
+
+``compress``    Compress a ``.npy`` array file into a PyBlaz stream.
+``decompress``  Reconstruct a ``.npy`` array from a PyBlaz stream.
+``info``        Print the header, settings and ratio of a PyBlaz stream.
+``experiment``  Run one of the paper-reproduction experiments and print its table.
+
+Examples
+--------
+
+::
+
+    repro compress input.npy output.pblz --block 4,4,4 --float float32 --index int16
+    repro decompress output.pblz roundtrip.npy
+    repro info output.pblz
+    repro experiment table1
+    repro experiment fig6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import experiments
+from .core import CompressionSettings, Compressor
+from .core.codec import compressed_size_bits, compression_ratio, load, save
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "table1": experiments.table1_operations,
+    "ratio": experiments.compression_ratio,
+    "fig2": experiments.fig2_blaz,
+    "fig3": experiments.fig3_zfp,
+    "fig4": experiments.fig4_shallow_water,
+    "fig5": experiments.fig5_lgg,
+    "fig6": experiments.fig6_fission,
+    "fig7": experiments.fig7_op_times,
+    "error-bounds": experiments.error_bounds,
+}
+
+
+def _parse_block(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid block shape {text!r}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PyBlaz reproduction: compressed arrays with compressed-space operations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compress = sub.add_parser("compress", help="compress a .npy file")
+    p_compress.add_argument("input", help="input .npy file")
+    p_compress.add_argument("output", help="output compressed stream")
+    p_compress.add_argument("--block", type=_parse_block, default=(4, 4, 4),
+                            help="block shape, e.g. 4,4,4")
+    p_compress.add_argument("--float", dest="float_format", default="float32",
+                            choices=["bfloat16", "float16", "float32", "float64"])
+    p_compress.add_argument("--index", dest="index_dtype", default="int16",
+                            choices=["int8", "int16", "int32", "int64"])
+    p_compress.add_argument("--transform", default="dct", choices=["dct", "haar", "identity"])
+
+    p_decompress = sub.add_parser("decompress", help="decompress a stream to .npy")
+    p_decompress.add_argument("input", help="compressed stream")
+    p_decompress.add_argument("output", help="output .npy file")
+
+    p_info = sub.add_parser("info", help="describe a compressed stream")
+    p_info.add_argument("input", help="compressed stream")
+
+    p_exp = sub.add_parser("experiment", help="run a paper-reproduction experiment")
+    p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+
+    return parser
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    array = np.load(args.input)
+    block = args.block
+    if len(block) != array.ndim:
+        print(
+            f"error: block shape {block} does not match array dimensionality {array.ndim}",
+            file=sys.stderr,
+        )
+        return 2
+    settings = CompressionSettings(
+        block_shape=block,
+        float_format=args.float_format,
+        index_dtype=args.index_dtype,
+        transform=args.transform,
+    )
+    compressed = Compressor(settings).compress(array)
+    save(compressed, args.output)
+    ratio = compression_ratio(settings, array.shape, input_bits_per_element=array.dtype.itemsize * 8)
+    print(f"compressed {args.input} {array.shape} -> {args.output}")
+    print(f"settings: {settings.describe()}")
+    print(f"accounting ratio vs {array.dtype}: {ratio:.3f}")
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    compressed = load(args.input)
+    array = Compressor(compressed.settings).decompress(compressed)
+    np.save(args.output, array)
+    print(f"decompressed {args.input} -> {args.output} {array.shape}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    compressed = load(args.input)
+    settings = compressed.settings
+    print(f"shape: {compressed.shape}")
+    print(f"settings: {settings.describe()}")
+    print(f"blocks: {compressed.n_blocks} (grid {compressed.grid_shape})")
+    print(f"stored bits (accounting): {compressed_size_bits(settings, compressed.shape)}")
+    print(
+        "compression ratio vs float64: "
+        f"{compression_ratio(settings, compressed.shape, input_bits_per_element=64):.3f}"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = _EXPERIMENTS[args.name]
+    result = module.run()
+    print(module.format_result(result))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "compress": _cmd_compress,
+        "decompress": _cmd_decompress,
+        "info": _cmd_info,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""Automatic selection of compression settings to meet an error target (§VI future work).
+
+The paper's conclusion lists, as future work, making PyBlaz "automatically change its
+compression settings in order to enforce some L∞ error bound through Bayesian
+optimization or a similar search process instead of relying on the user to find
+optimal compression settings".  This module implements that capability with a
+deterministic guided search (no external optimizer dependency):
+
+:func:`tune_settings` takes a representative array (or a sample of one), a target
+maximum absolute error, and a candidate space (block shapes, index types, float
+formats, pruning fractions), evaluates candidates in increasing order of stored size,
+and returns the highest-ratio :class:`CompressionSettings` whose *measured* round-trip
+L∞ error meets the target.  Because the error of a candidate is measured on the data
+itself (not estimated from the bounds, which §IV-D shows are loose), the guarantee is
+empirical in the same sense SZ's error bound is: it holds for the data it was tuned
+on, and for similar data in the same value range.
+
+A cheaper screening step uses the §IV-D binning bound to discard candidates that
+cannot possibly meet the target, so the number of full compress/decompress
+evaluations stays small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .codec import compression_ratio
+from .compressor import Compressor
+from .pruning import low_frequency_mask
+from .settings import CompressionSettings
+
+__all__ = ["TuningCandidate", "TuningResult", "candidate_space", "tune_settings"]
+
+
+@dataclass(frozen=True)
+class TuningCandidate:
+    """One evaluated candidate configuration."""
+
+    settings: CompressionSettings
+    ratio: float
+    measured_linf_error: float
+    meets_target: bool
+
+
+@dataclass
+class TuningResult:
+    """Outcome of :func:`tune_settings`.
+
+    Attributes
+    ----------
+    best:
+        The selected settings (highest ratio among candidates meeting the target), or
+        ``None`` if no candidate met it.
+    target_linf:
+        The error target that was requested.
+    evaluated:
+        Every candidate that was fully evaluated, in evaluation order.
+    """
+
+    best: CompressionSettings | None
+    target_linf: float
+    evaluated: list[TuningCandidate] = field(default_factory=list)
+
+    @property
+    def best_candidate(self) -> TuningCandidate | None:
+        for candidate in sorted(self.evaluated, key=lambda c: -c.ratio):
+            if candidate.meets_target:
+                return candidate
+        return None
+
+
+def candidate_space(
+    ndim: int,
+    block_extents: Sequence[int] = (4, 8, 16),
+    index_dtypes: Sequence[str] = ("int8", "int16", "int32"),
+    float_formats: Sequence[str] = ("float32", "float64"),
+    keep_fractions: Sequence[float] = (1.0, 0.5),
+) -> list[CompressionSettings]:
+    """Build the default candidate grid for ``ndim``-dimensional data.
+
+    Only hypercubic blocks are generated here; callers with strongly anisotropic data
+    (like the Fig 5 volumes) can pass their own candidate list to
+    :func:`tune_settings`.
+    """
+    candidates: list[CompressionSettings] = []
+    for extent in block_extents:
+        block_shape = (int(extent),) * ndim
+        for float_format in float_formats:
+            for index_dtype in index_dtypes:
+                for keep in keep_fractions:
+                    mask = None if keep >= 1.0 else low_frequency_mask(block_shape, keep)
+                    candidates.append(
+                        CompressionSettings(
+                            block_shape=block_shape,
+                            float_format=float_format,
+                            index_dtype=index_dtype,
+                            pruning_mask=mask,
+                        )
+                    )
+    return candidates
+
+
+def _screening_error_estimate(array: np.ndarray, settings: CompressionSettings) -> float:
+    """Cheap lower-ish estimate of the achievable L∞ error for screening.
+
+    Uses the binning half-step of a single coefficient at the scale of the array's
+    largest magnitude: any candidate whose *best case* already exceeds the target can
+    be skipped without running the pipeline.  (Deliberately optimistic — screening
+    must never discard a feasible candidate.)
+    """
+    scale = float(np.abs(array).max())
+    if scale == 0.0:
+        return 0.0
+    radius = settings.index_radius
+    return scale / (2.0 * radius) / np.sqrt(settings.block_size)
+
+
+def tune_settings(
+    array: np.ndarray,
+    target_linf: float,
+    candidates: Iterable[CompressionSettings] | None = None,
+    *,
+    sample_limit: int | None = 2**22,
+    input_bits_per_element: int = 64,
+) -> TuningResult:
+    """Find the highest-ratio settings whose round-trip L∞ error meets ``target_linf``.
+
+    Parameters
+    ----------
+    array:
+        Representative data to tune on (the full array, or a representative chunk).
+    target_linf:
+        Maximum allowed absolute round-trip error.
+    candidates:
+        Candidate settings to consider; defaults to :func:`candidate_space` for the
+        array's dimensionality.
+    sample_limit:
+        If the array has more elements than this, tuning is performed on a contiguous
+        leading slab of approximately this many elements (keeps tuning cheap for very
+        large inputs).  ``None`` disables sampling.
+    input_bits_per_element:
+        Width of the uncompressed elements used in the ratio objective.
+
+    Returns
+    -------
+    TuningResult
+        With ``best`` set to the winning settings, or ``None`` when no candidate met
+        the target (callers may then fall back to lossless storage).
+    """
+    array = np.asarray(array, dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("cannot tune on an empty array")
+    if not np.isfinite(target_linf) or target_linf <= 0:
+        raise ValueError("target_linf must be a positive finite number")
+
+    sample = array
+    if sample_limit is not None and array.size > sample_limit:
+        # take a leading slab along the first axis with roughly sample_limit elements
+        per_slice = max(1, array.size // array.shape[0])
+        n_slices = max(1, int(sample_limit // per_slice))
+        sample = array[tuple([slice(0, n_slices)] + [slice(None)] * (array.ndim - 1))]
+
+    if candidates is None:
+        candidates = candidate_space(array.ndim)
+    candidates = [c for c in candidates if c.ndim == array.ndim]
+    if not candidates:
+        raise ValueError("no candidate settings with matching dimensionality")
+
+    # evaluate best-ratio candidates first so the first hit is close to optimal, but
+    # keep evaluating cheaper-ratio candidates only while no hit has been found
+    ordered = sorted(
+        candidates,
+        key=lambda c: -compression_ratio(c, array.shape, input_bits_per_element),
+    )
+
+    result = TuningResult(best=None, target_linf=float(target_linf))
+    found_ratio: float | None = None
+    for settings in ordered:
+        ratio = compression_ratio(settings, array.shape, input_bits_per_element)
+        if found_ratio is not None and ratio <= found_ratio:
+            break  # candidates are ordered by ratio; nothing later can do better
+        if _screening_error_estimate(sample, settings) > target_linf:
+            continue
+        compressor = Compressor(settings)
+        try:
+            error = float(np.abs(compressor.roundtrip(sample) - sample).max())
+        except ValueError:
+            continue  # e.g. non-finite values after float16 overflow
+        meets = bool(np.isfinite(error) and error <= target_linf)
+        result.evaluated.append(
+            TuningCandidate(settings=settings, ratio=ratio,
+                            measured_linf_error=error, meets_target=meets)
+        )
+        if meets and found_ratio is None:
+            found_ratio = ratio
+
+    best = result.best_candidate
+    result.best = best.settings if best is not None else None
+    return result

@@ -1,0 +1,125 @@
+"""Blocking and unblocking of arbitrary-dimensional arrays (§III-A(b)).
+
+Blocking reshapes an input array of shape ``s`` into an array of blocks so that every
+subsequent pipeline step can operate on blocks independently (which is what makes the
+pipeline parallel-friendly).  The input is first zero-padded so each extent becomes a
+multiple of the corresponding block extent; with block shape ``i`` and block-grid
+shape ``b = ceil(s / i)`` the blocked array has shape ``b + i`` (grid axes first, then
+intra-block axes), e.g. a ``(3, 224, 224)`` array blocked with ``(4, 4, 4)`` becomes
+``(1, 56, 56, 4, 4, 4)``.
+
+Blocking is the only exactly invertible step of the pipeline; :func:`unblock_array`
+followed by :func:`crop_to_shape` recovers the original array bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "pad_to_blocks",
+    "block_array",
+    "unblock_array",
+    "crop_to_shape",
+    "blocked_shape",
+]
+
+
+def blocked_shape(array_shape: Sequence[int], block_shape: Sequence[int]) -> tuple[int, ...]:
+    """Return the shape of the blocked array: block-grid extents followed by block extents."""
+    if len(array_shape) != len(block_shape):
+        raise ValueError(
+            f"array dimensionality {len(array_shape)} does not match block "
+            f"dimensionality {len(block_shape)}"
+        )
+    grid = tuple(-(-int(s) // int(b)) for s, b in zip(array_shape, block_shape))
+    return grid + tuple(int(b) for b in block_shape)
+
+
+def pad_to_blocks(array: np.ndarray, block_shape: Sequence[int]) -> np.ndarray:
+    """Zero-pad ``array`` so each extent is a multiple of the block extent.
+
+    Padding is appended at the high-index end of each axis, matching the paper's
+    description ("padded with zeros such that its size in each direction is a
+    multiple of the block size").
+    """
+    array = np.asarray(array)
+    if array.ndim != len(block_shape):
+        raise ValueError(
+            f"array dimensionality {array.ndim} does not match block "
+            f"dimensionality {len(block_shape)}"
+        )
+    pad_widths = []
+    for extent, block_extent in zip(array.shape, block_shape):
+        block_extent = int(block_extent)
+        remainder = extent % block_extent
+        pad_widths.append((0, 0 if remainder == 0 else block_extent - remainder))
+    if all(high == 0 for _, high in pad_widths):
+        return array
+    return np.pad(array, pad_widths, mode="constant", constant_values=0)
+
+
+def block_array(array: np.ndarray, block_shape: Sequence[int]) -> np.ndarray:
+    """Block ``array`` into shape ``(grid..., block...)`` after zero padding.
+
+    The result's first ``ndim`` axes index the block grid and the last ``ndim`` axes
+    index positions within a block.
+    """
+    array = np.asarray(array)
+    padded = pad_to_blocks(array, block_shape)
+    ndim = padded.ndim
+    grid = tuple(padded.shape[d] // int(block_shape[d]) for d in range(ndim))
+    # reshape to interleaved (g0, b0, g1, b1, ...) then move all block axes to the end
+    interleaved_shape = tuple(
+        val for d in range(ndim) for val in (grid[d], int(block_shape[d]))
+    )
+    reshaped = padded.reshape(interleaved_shape)
+    grid_axes = tuple(range(0, 2 * ndim, 2))
+    block_axes = tuple(range(1, 2 * ndim, 2))
+    return np.transpose(reshaped, grid_axes + block_axes)
+
+
+def unblock_array(blocked: np.ndarray, block_shape: Sequence[int]) -> np.ndarray:
+    """Inverse of :func:`block_array`: merge blocks back into a padded array.
+
+    ``blocked`` must have shape ``(grid..., block...)``.  The result has the padded
+    shape; use :func:`crop_to_shape` to recover the original extents.
+    """
+    blocked = np.asarray(blocked)
+    ndim = len(block_shape)
+    if blocked.ndim != 2 * ndim:
+        raise ValueError(
+            f"blocked array must have {2 * ndim} axes (grid + block), got {blocked.ndim}"
+        )
+    grid = blocked.shape[:ndim]
+    blocks = blocked.shape[ndim:]
+    if tuple(blocks) != tuple(int(b) for b in block_shape):
+        raise ValueError(
+            f"trailing axes {blocks} do not match block shape {tuple(block_shape)}"
+        )
+    # invert the transpose used in block_array: (g..., b...) -> (g0, b0, g1, b1, ...)
+    order = []
+    for d in range(ndim):
+        order.append(d)
+        order.append(ndim + d)
+    interleaved = np.transpose(blocked, order)
+    padded_shape = tuple(grid[d] * blocks[d] for d in range(ndim))
+    return interleaved.reshape(padded_shape)
+
+
+def crop_to_shape(array: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Crop ``array`` down to ``shape`` (removing padding appended at the high end)."""
+    array = np.asarray(array)
+    if array.ndim != len(shape):
+        raise ValueError(
+            f"cannot crop array of dimensionality {array.ndim} to shape {tuple(shape)}"
+        )
+    slices = tuple(slice(0, int(extent)) for extent in shape)
+    for have, want in zip(array.shape, shape):
+        if have < want:
+            raise ValueError(
+                f"cannot crop: array extent {have} is smaller than requested {want}"
+            )
+    return array[slices]

@@ -1,0 +1,79 @@
+"""Compressed-space operations (§IV, Table I, Algorithms 1–13).
+
+Every function in this package operates on :class:`repro.core.CompressedArray`
+operands **without decompressing them**.  Array-valued results are returned as new
+``CompressedArray`` objects; scalar-valued results are Python floats.
+
+The operations and their error behaviour, following Table I:
+
+=============================  =========  ==========================
+Operation                      Result     Source of additional error
+=============================  =========  ==========================
+:func:`negate`                 array      none
+:func:`add` / :func:`subtract` array      rebinning
+:func:`add_scalar`             array      rebinning
+:func:`multiply_scalar`        array      none
+:func:`dot`                    scalar     none
+:func:`mean`                   scalar     none
+:func:`covariance`             scalar     none
+:func:`variance`               scalar     none
+:func:`l2_norm`                scalar     none
+:func:`cosine_similarity`      scalar     none
+:func:`structural_similarity`  scalar     none
+:func:`wasserstein_distance`   scalar     function of block size
+=============================  =========  ==========================
+
+"None" means no error beyond what compression already introduced (and ordinary
+floating-point rounding).  Scalar reductions are taken over the zero-padded block
+domain; when the array shape is a multiple of the block shape they coincide with the
+uncompressed-space definitions (see DESIGN.md §5).
+"""
+
+from .approximate import (
+    approximate_binary_map,
+    approximate_histogram,
+    approximate_map,
+    approximate_quantile,
+    approximate_reduce,
+)
+from .coefficients import rebin_coefficients, specified_coefficients
+from .linear import add, add_scalar, multiply_scalar, negate, subtract
+from .reductions import blockwise_mean, dot, l2_norm, mean
+from .similarity import cosine_similarity, structural_similarity
+from .statistics import (
+    blockwise_covariance,
+    blockwise_standard_deviation,
+    blockwise_variance,
+    covariance,
+    standard_deviation,
+    variance,
+)
+from .wasserstein import wasserstein_distance
+
+__all__ = [
+    "specified_coefficients",
+    "rebin_coefficients",
+    "negate",
+    "add",
+    "subtract",
+    "add_scalar",
+    "multiply_scalar",
+    "dot",
+    "mean",
+    "blockwise_mean",
+    "l2_norm",
+    "covariance",
+    "variance",
+    "standard_deviation",
+    "blockwise_covariance",
+    "blockwise_variance",
+    "blockwise_standard_deviation",
+    "cosine_similarity",
+    "structural_similarity",
+    "wasserstein_distance",
+    "approximate_map",
+    "approximate_binary_map",
+    "approximate_reduce",
+    "approximate_histogram",
+    "approximate_quantile",
+]

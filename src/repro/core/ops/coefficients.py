@@ -1,0 +1,82 @@
+"""Shared coefficient-space helpers for the compressed-space operations.
+
+Two properties of the compression pipeline make compressed-space operation possible
+(§IV-A): (1) each block of stored indices ``F`` is proportional to the block's
+transform coefficients, so scaling ``F`` by ``N`` recovers the *specified*
+coefficients exactly as they will appear at decompression time; and (2) the
+orthonormal transform preserves dot products, so summative quantities (means,
+norms, covariances) can be computed from coefficients directly.
+
+:func:`specified_coefficients` implements Algorithm 3.  :func:`rebin_coefficients`
+is the converse: given a blocked array of coefficients produced by some operation
+(e.g. the sum of two arrays' coefficients), re-derive the ``{N, F}`` pair, which is
+where the "rebinning" error of Table I comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..binning import bin_coefficients
+from ..compressed import CompressedArray
+from ..pruning import flatten_kept
+from ..settings import CompressionSettings
+
+__all__ = ["specified_coefficients", "rebin_coefficients", "require_compatible"]
+
+
+def specified_coefficients(compressed: CompressedArray) -> np.ndarray:
+    """Algorithm 3: recover the kept coefficients ``Ĉ = N ⊙ F ⊘ r``.
+
+    Returns a blocked float64 array shaped ``(grid..., block...)`` with zeros at
+    pruned positions.
+    """
+    return compressed.specified_coefficients()
+
+
+def rebin_coefficients(
+    coefficients: np.ndarray,
+    settings: CompressionSettings,
+    shape: tuple[int, ...],
+) -> CompressedArray:
+    """Quantize a blocked coefficient array back into a :class:`CompressedArray`.
+
+    This is the final step of every compressed-space operation whose result is an
+    array but whose coefficients are no longer exactly expressible with the input
+    ``{N, F}`` pairs (element-wise addition, scalar addition).  The error introduced
+    here is the "rebinning" error of Table I: at most half a bin width of the *new*
+    per-block maxima.
+
+    Coefficients at pruned positions are discarded (they are zero for all operations
+    defined in this package, since inputs have zeros there and the operations are
+    element-wise in coefficient space).
+    """
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    expected_grid = settings.block_grid_shape(shape)
+    if coefficients.shape != expected_grid + settings.block_shape:
+        raise ValueError(
+            f"coefficient array shape {coefficients.shape} does not match "
+            f"grid {expected_grid} + block {settings.block_shape}"
+        )
+    maxima, indices_blocked = bin_coefficients(
+        coefficients, settings.ndim, settings.index_dtype
+    )
+    flattened = flatten_kept(indices_blocked, settings.mask)
+    return CompressedArray(
+        settings=settings, shape=shape, maxima=maxima, indices=flattened
+    )
+
+
+def require_compatible(a: CompressedArray, b: CompressedArray, operation: str) -> None:
+    """Raise ``ValueError`` unless ``a`` and ``b`` may be combined by ``operation``."""
+    if not isinstance(a, CompressedArray) or not isinstance(b, CompressedArray):
+        raise TypeError(f"{operation} requires CompressedArray operands")
+    if a.shape != b.shape:
+        raise ValueError(
+            f"{operation} requires equal shapes, got {a.shape} and {b.shape}"
+        )
+    if not a.settings.is_compatible_with(b.settings):
+        raise ValueError(
+            f"{operation} requires compatible compression settings "
+            f"({a.settings.describe()} vs {b.settings.describe()})"
+        )

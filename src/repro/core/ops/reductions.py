@@ -1,0 +1,70 @@
+"""Scalar reductions in the compressed space (Algorithms 6, 7, 10).
+
+All three reductions exploit orthonormality — dot products of coefficient blocks
+equal dot products of the corresponding data blocks — so they require no inverse
+transform and introduce no error beyond what compression already produced.
+
+Padding semantics: the reductions see the zero-padded block domain.  The dot product
+and L2 norm are unaffected by zero padding; the mean is taken over the padded element
+count, which matches the paper's implementation (and equals the true mean exactly when
+the shape is a multiple of the block shape).  Callers that need the cropped-domain
+mean can rescale with ``n_padded_elements / n_elements``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compressed import CompressedArray
+from .coefficients import require_compatible, specified_coefficients
+
+__all__ = ["dot", "mean", "blockwise_mean", "l2_norm"]
+
+
+def dot(a: CompressedArray, b: CompressedArray) -> float:
+    """Algorithm 6: dot product ``Σ (Ĉ1 ⊙ Ĉ2)``.
+
+    Equals the dot product of the two decompressed (padded) arrays because the
+    orthonormal transform preserves inner products; padding contributes zeros.
+    """
+    require_compatible(a, b, "dot product")
+    return float(np.sum(specified_coefficients(a) * specified_coefficients(b)))
+
+
+def mean(compressed: CompressedArray, *, padded: bool = True) -> float:
+    """Algorithm 7: the array mean from the first coefficient of every block.
+
+    Each block's first coefficient equals the block mean scaled by
+    ``c = Π sqrt(block extents)``, so the array mean is the average of first
+    coefficients divided by ``c``.
+
+    Parameters
+    ----------
+    padded:
+        When True (default, the paper's semantics) the mean is over the zero-padded
+        domain.  When False the result is rescaled to the original element count,
+        giving the true mean of the uncompressed array up to compression error.
+    """
+    value = float(np.mean(compressed.first_coefficients()) / compressed.settings.dc_scale)
+    if not padded:
+        value *= compressed.n_padded_elements / compressed.n_elements
+    return value
+
+
+def blockwise_mean(compressed: CompressedArray) -> np.ndarray:
+    """Block-wise means ``Ĉ[..., first] / c`` shaped like the block grid.
+
+    This is the coarse proxy of the uncompressed array that the approximate
+    operations (§IV-B) build on.
+    """
+    return compressed.blockwise_means()
+
+
+def l2_norm(compressed: CompressedArray) -> float:
+    """Algorithm 10: the L2 (Euclidean) norm ``‖Ĉ‖₂``.
+
+    Orthonormal transforms preserve the 2-norm, so the norm of the kept coefficients
+    equals the norm of the decompressed (padded) array; padding contributes zeros.
+    """
+    coefficients = specified_coefficients(compressed)
+    return float(np.sqrt(np.sum(coefficients * coefficients)))

@@ -1,0 +1,108 @@
+"""Approximate Wasserstein distance in the compressed space (§IV-B, Algorithm 13).
+
+The block-wise means available from the first coefficients form a coarse proxy of the
+decompressed arrays; the order-``p`` Wasserstein (earth mover's) distance between the
+two proxies approximates the distance between the underlying arrays, with an error
+governed by the block size (one-element blocks would make it exact but destroy
+compression).
+
+Following Algorithm 13: the block-wise means are normalised into probability
+distributions with a softmax when they do not already sum to one, both distributions
+are sorted (the 1-D optimal transport plan between empirical distributions pairs
+sorted samples), and the distance is
+
+    ``( Σ |sorted(A') - sorted(B')|^p / Π ⌈s ⊘ i⌉ )^(1/p)``.
+
+Because sorting is involved this operation is not differentiable (unlike every other
+operation in Table I).
+
+Numerical note: for large orders (the paper sweeps up to p = 68 and observes that all
+peaks vanish for p ≥ 80) the naive evaluation of ``|d|^p`` underflows to zero in
+float64.  The default implementation here factors out the maximum difference so the
+result stays finite for any ``p`` (``stable=True``); passing ``stable=False``
+reproduces the naive evaluation — and with it the paper's observed vanishing of all
+peaks at p ≥ 80.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compressed import CompressedArray
+from .coefficients import require_compatible
+
+__all__ = ["wasserstein_distance", "softmax"]
+
+
+def softmax(values: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax ``e^x / Σ e^x`` over the flattened input."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    shifted = values - values.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+def _as_distribution(blockwise_means: np.ndarray, atol: float = 1e-9) -> np.ndarray:
+    """Normalise block-wise means into a probability distribution (Algorithm 13).
+
+    If the means already sum to one (within ``atol``) and are non-negative they are
+    used as-is; otherwise the softmax is applied, exactly as the paper does.
+    """
+    flat = np.asarray(blockwise_means, dtype=np.float64).ravel()
+    total = flat.sum()
+    if np.isclose(total, 1.0, atol=atol) and np.all(flat >= 0):
+        return flat
+    return softmax(flat)
+
+
+def wasserstein_distance(
+    a: CompressedArray,
+    b: CompressedArray,
+    order: float = 1.0,
+    *,
+    stable: bool = True,
+) -> float:
+    """Algorithm 13: approximate order-``p`` Wasserstein distance between two arrays.
+
+    Parameters
+    ----------
+    a, b:
+        Compressed operands with compatible settings and equal shapes.  Both must
+        retain the first coefficient of every block.
+    order:
+        The order ``p`` ≥ 1 of the distance.  Higher orders emphasise the largest
+        mass displacement, which is how the paper isolates the scission event from
+        noise peaks (Fig 6b).
+    stable:
+        Use the overflow/underflow-safe evaluation (default).  ``stable=False``
+        evaluates ``|d|^p`` directly, reproducing the float64 underflow the paper
+        observes for p ≥ 80.
+
+    Returns
+    -------
+    float
+        ``( Σ |sorted(A') - sorted(B')|^p / n_blocks )^(1/p)``.
+    """
+    require_compatible(a, b, "Wasserstein distance")
+    order = float(order)
+    if order < 1.0:
+        raise ValueError(f"Wasserstein order must be >= 1, got {order}")
+
+    means_a = a.blockwise_means()
+    means_b = b.blockwise_means()
+    dist_a = np.sort(_as_distribution(means_a))
+    dist_b = np.sort(_as_distribution(means_b))
+    diffs = np.abs(dist_a - dist_b)
+    n_blocks = float(diffs.size)
+
+    if not stable:
+        return float((np.sum(diffs ** order) / n_blocks) ** (1.0 / order))
+
+    max_diff = diffs.max()
+    if max_diff == 0.0:
+        return 0.0
+    scaled = diffs / max_diff
+    # (max^p * sum(scaled^p) / n)^(1/p) = max * (sum(scaled^p)/n)^(1/p); scaled <= 1
+    # keeps every intermediate in range for arbitrarily large p.
+    inner = np.sum(scaled ** order) / n_blocks
+    return float(max_diff * inner ** (1.0 / order))

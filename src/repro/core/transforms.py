@@ -1,0 +1,185 @@
+"""Orthonormal transforms used by the compressor (§III-A(c), Appendix VI-A).
+
+Each block is transformed into coefficients of an orthonormal, separable transform.
+Orthonormality is the property all compressed-space reductions rely on: it preserves
+dot products (and hence L2 norms, variances and covariances), and it maps the block
+mean onto the first ("DC") coefficient scaled by ``sqrt(block size)``.
+
+Three transforms are provided:
+
+* ``"dct"`` — the orthonormal type-II discrete cosine transform, PyBlaz's default.
+* ``"haar"`` — the orthonormal Haar wavelet transform (power-of-two sizes only).
+* ``"identity"`` — the standard basis, useful for isolating binning/pruning error
+  in tests and ablations.
+
+The matrices here act along one axis; :class:`Transform` applies them separably
+along every block axis of a ``(grid..., block...)``-shaped array produced by
+:func:`repro.core.blocking.block_array`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "dct_matrix",
+    "haar_matrix",
+    "identity_matrix",
+    "transform_matrix",
+    "Transform",
+    "get_transform",
+]
+
+
+@lru_cache(maxsize=None)
+def dct_matrix(size: int) -> np.ndarray:
+    """Orthonormal DCT-II matrix ``H`` of shape ``(size, size)``.
+
+    ``H[k, n] = sqrt((1 + (k > 0)) / size) * cos(pi * (2n + 1) * k / (2 size))``.
+    Rows are the sampled cosine basis functions; ``H @ x`` produces the coefficients
+    of a length-``size`` signal ``x`` and ``H.T @ c`` reconstructs it.
+    """
+    size = int(size)
+    if size < 1:
+        raise ValueError("transform size must be positive")
+    k = np.arange(size).reshape(-1, 1).astype(np.float64)
+    n = np.arange(size).reshape(1, -1).astype(np.float64)
+    matrix = np.cos(np.pi * (2.0 * n + 1.0) * k / (2.0 * size))
+    scale = np.full((size, 1), np.sqrt(2.0 / size))
+    scale[0, 0] = np.sqrt(1.0 / size)
+    out = matrix * scale
+    out.setflags(write=False)
+    return out
+
+
+@lru_cache(maxsize=None)
+def haar_matrix(size: int) -> np.ndarray:
+    """Orthonormal Haar wavelet matrix of shape ``(size, size)``.
+
+    ``size`` must be a power of two.  The first row is the normalized constant
+    function, so the DC-coefficient property used by the mean/variance operations
+    holds exactly as for the DCT.
+    """
+    size = int(size)
+    if size < 1 or (size & (size - 1)) != 0:
+        raise ValueError(f"Haar transform requires a power-of-two size, got {size}")
+    matrix = np.array([[1.0]])
+    while matrix.shape[0] < size:
+        top = np.kron(matrix, np.array([1.0, 1.0]))
+        bottom = np.kron(np.eye(matrix.shape[0]), np.array([1.0, -1.0]))
+        matrix = np.vstack([top, bottom]) / np.sqrt(2.0)
+    matrix = np.ascontiguousarray(matrix)
+    matrix.setflags(write=False)
+    return matrix
+
+
+@lru_cache(maxsize=None)
+def identity_matrix(size: int) -> np.ndarray:
+    """The standard basis as an (orthonormal) transform — no decorrelation."""
+    size = int(size)
+    if size < 1:
+        raise ValueError("transform size must be positive")
+    out = np.eye(size)
+    out.setflags(write=False)
+    return out
+
+
+_MATRIX_BUILDERS = {
+    "dct": dct_matrix,
+    "haar": haar_matrix,
+    "identity": identity_matrix,
+}
+
+
+def transform_matrix(name: str, size: int) -> np.ndarray:
+    """Return the orthonormal matrix of transform ``name`` for ``size`` samples."""
+    key = str(name).lower()
+    if key not in _MATRIX_BUILDERS:
+        raise ValueError(f"unknown transform {name!r}; choose from {sorted(_MATRIX_BUILDERS)}")
+    return _MATRIX_BUILDERS[key](size)
+
+
+class Transform:
+    """Separable N-dimensional orthonormal transform over blocked arrays.
+
+    Parameters
+    ----------
+    name:
+        ``"dct"``, ``"haar"`` or ``"identity"``.
+    block_shape:
+        Extents of a block along each dimension; one matrix is built per extent.
+
+    A blocked array has shape ``(grid..., block...)``.  :meth:`forward` contracts
+    each block axis with the corresponding matrix (Einstein-summation style, as in
+    Appendix VI-A); :meth:`inverse` contracts with the transposes.  Both preserve
+    the array's leading grid axes untouched, so they vectorize over all blocks at
+    once — this is the numpy stand-in for the paper's GPU bulk execution.
+    """
+
+    def __init__(self, name: str, block_shape: Sequence[int]):
+        self.name = str(name).lower()
+        self.block_shape = tuple(int(b) for b in block_shape)
+        self.matrices = tuple(transform_matrix(self.name, extent) for extent in self.block_shape)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.block_shape)
+
+    def _apply(self, blocked: np.ndarray, matrices: Sequence[np.ndarray]) -> np.ndarray:
+        blocked = np.asarray(blocked, dtype=np.float64)
+        ndim = self.ndim
+        if blocked.ndim < ndim:
+            raise ValueError(
+                f"blocked array must have at least {ndim} trailing block axes"
+            )
+        if blocked.shape[-ndim:] != self.block_shape:
+            raise ValueError(
+                f"trailing axes {blocked.shape[-ndim:]} do not match block shape "
+                f"{self.block_shape}"
+            )
+        result = blocked
+        lead = blocked.ndim - ndim
+        for axis_offset, matrix in enumerate(matrices):
+            axis = lead + axis_offset
+            # Contract this block axis with the matrix: result[..., k, ...] =
+            # sum_n matrix[k, n] * result[..., n, ...]
+            result = np.tensordot(result, matrix, axes=([axis], [1]))
+            # tensordot moves the contracted axis to the end; move it back in place
+            result = np.moveaxis(result, -1, axis)
+        return result
+
+    def forward(self, blocked: np.ndarray) -> np.ndarray:
+        """Transform blocks of data into blocks of coefficients."""
+        return self._apply(blocked, self.matrices)
+
+    def inverse(self, coefficients: np.ndarray) -> np.ndarray:
+        """Transform blocks of coefficients back into blocks of data."""
+        return self._apply(coefficients, tuple(m.T for m in self.matrices))
+
+    def dc_scale(self) -> float:
+        """Factor relating each block's first coefficient to the block mean.
+
+        For every supported transform the first basis vector is the constant vector
+        ``1/sqrt(extent)`` in each direction (identity excepted — see note), so the
+        first coefficient equals ``block mean * prod(sqrt(extent))``.  The identity
+        transform does not have this property; callers that rely on the DC scale
+        (mean, variance, Wasserstein) check :meth:`has_dc_property`.
+        """
+        return float(np.prod(np.sqrt(np.asarray(self.block_shape, dtype=np.float64))))
+
+    def has_dc_property(self) -> bool:
+        """Whether the first coefficient of each block is the scaled block mean."""
+        return self.name in ("dct", "haar")
+
+
+@lru_cache(maxsize=None)
+def _cached_transform(name: str, block_shape: tuple[int, ...]) -> Transform:
+    return Transform(name, block_shape)
+
+
+def get_transform(name: str, block_shape: Sequence[int]) -> Transform:
+    """Return a (cached) :class:`Transform` for ``name`` and ``block_shape``."""
+    return _cached_transform(str(name).lower(), tuple(int(b) for b in block_shape))

@@ -1,0 +1,54 @@
+"""Experiment harnesses: one module per table/figure of the paper's evaluation.
+
+Each module exposes a configuration dataclass with small-but-representative default
+parameters, a ``run(config)`` function returning a structured result, and a
+``format_result(result)`` function that renders the same rows/series the paper
+reports.  The pytest-benchmark suites under ``benchmarks/`` and the command line
+interface (``python -m repro``) are thin wrappers around these functions, and
+``EXPERIMENTS.md`` records their outputs next to the paper's numbers.
+
+=====================  =====================================================
+Module                 Reproduces
+=====================  =====================================================
+``table1_operations``  Table I — operation list and error classification
+``compression_ratio``  §IV-C — compression-ratio formula and worked examples
+``fig2_blaz``          Fig 2 — PyBlaz vs Blaz operation time
+``fig3_zfp``           Fig 3 — PyBlaz vs ZFP compression/decompression time
+``fig4_shallow_water`` Fig 4 — precision-difference capture in compressed space
+``fig5_lgg``           Fig 5 — error of compressed-space statistics vs settings
+``fig6_fission``       Fig 6 — scission detection: L2 vs Wasserstein
+``fig7_op_times``      Fig 7 — operation time across settings (3-D arrays)
+``error_bounds``       §IV-D — binning/pruning error bounds
+``ablations``          DESIGN.md §4 — design-choice ablations
+=====================  =====================================================
+"""
+
+from . import (
+    ablations,
+    compression_ratio,
+    error_bounds,
+    fig2_blaz,
+    fig3_zfp,
+    fig4_shallow_water,
+    fig5_lgg,
+    fig6_fission,
+    fig7_op_times,
+    table1_operations,
+)
+from .common import ExperimentResult, Timer, format_table
+
+__all__ = [
+    "table1_operations",
+    "compression_ratio",
+    "fig2_blaz",
+    "fig3_zfp",
+    "fig4_shallow_water",
+    "fig5_lgg",
+    "fig6_fission",
+    "fig7_op_times",
+    "error_bounds",
+    "ablations",
+    "ExperimentResult",
+    "Timer",
+    "format_table",
+]

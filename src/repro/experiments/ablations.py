@@ -1,0 +1,183 @@
+"""Design-choice ablations called out in DESIGN.md §4.
+
+Four studies quantify the design decisions the paper makes (or inherits and changes
+relative to Blaz):
+
+* **Differentiation ablation** — PyBlaz deliberately *skips* Blaz's differentiation
+  ("normalization") step because operating on differentiated coefficients breaks the
+  linear relationship compressed-space addition/dot/mean rely on (Fig 1 caption,
+  §IV-A).  The study compares PyBlaz's compressed-space addition error against a
+  Blaz-style add (which must re-bin differentiated coefficients) and against the
+  decompress→add→recompress upper bound.
+* **Transform ablation** — DCT vs Haar vs identity: round-trip error and the error of
+  the compressed-space mean/L2 under each transform at equal storage cost.
+* **Backend ablation** — vectorized bulk execution vs a per-block Python loop vs a
+  thread pool, verifying identical outputs and measuring the speedup (the CPU
+  analogue of the paper's GPU-vs-single-thread argument).
+* **Index-width ablation** — int8/int16/int32/int64 vs round-trip error and ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines import BlazCompressor
+from ..core import CompressionSettings, Compressor
+from ..core import ops
+from ..core.codec import asymptotic_compression_ratio
+from ..parallel import LoopExecutor, SerialExecutor, ThreadedExecutor
+from .common import ExperimentResult, median_time
+
+__all__ = [
+    "AblationConfig",
+    "run_differentiation",
+    "run_transforms",
+    "run_backends",
+    "run_index_width",
+    "format_result",
+]
+
+
+@dataclass(frozen=True)
+class AblationConfig:
+    """Shared configuration of the ablation studies."""
+
+    shape_2d: tuple[int, int] = (128, 128)
+    shape_3d: tuple[int, int, int] = (32, 32, 32)
+    seed: int = 17
+    repeats: int = 3
+
+
+def _smooth_field(shape: tuple[int, ...], seed: int) -> np.ndarray:
+    """Smooth structured field (what both Blaz and PyBlaz are designed for)."""
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(*[np.linspace(0, 1, s) for s in shape], indexing="ij")
+    field_values = np.zeros(shape)
+    for k, g in enumerate(grids, start=1):
+        field_values += np.sin(2 * np.pi * k * g) + 0.5 * np.cos(3 * np.pi * k * g)
+    field_values += 0.02 * rng.standard_normal(shape)
+    return field_values
+
+
+def run_differentiation(config: AblationConfig = AblationConfig()) -> ExperimentResult:
+    """Compressed-space addition error: PyBlaz (no differentiation) vs Blaz (with)."""
+    a = _smooth_field(config.shape_2d, config.seed)
+    b = _smooth_field(config.shape_2d, config.seed + 1)
+    truth = a + b
+
+    settings = CompressionSettings(block_shape=(8, 8), float_format="float64", index_dtype="int8")
+    pyblaz = Compressor(settings)
+    pa, pb = pyblaz.compress(a), pyblaz.compress(b)
+    pyblaz_add = pyblaz.decompress(ops.add(pa, pb))
+    pyblaz_roundtrip = pyblaz.decompress(pyblaz.compress(truth))
+
+    blaz = BlazCompressor()
+    ba, bb = blaz.compress(a), blaz.compress(b)
+    blaz_add = blaz.decompress(blaz.add(ba, bb))
+    blaz_roundtrip = blaz.decompress(blaz.compress(truth))
+
+    def mae(x):
+        return float(np.mean(np.abs(x - truth)))
+
+    rows = [
+        ("pyblaz compressed-space add", mae(pyblaz_add)),
+        ("pyblaz recompress(a+b) reference", mae(pyblaz_roundtrip)),
+        ("blaz compressed-space add", mae(blaz_add)),
+        ("blaz recompress(a+b) reference", mae(blaz_roundtrip)),
+    ]
+    return ExperimentResult(
+        name="Ablation — differentiation step vs compressed-space addition error (MAE)",
+        columns=("pipeline", "mean abs error of a+b"),
+        rows=rows,
+        metadata={"shape": config.shape_2d, "block": "8x8", "index": "int8"},
+    )
+
+
+def run_transforms(config: AblationConfig = AblationConfig()) -> ExperimentResult:
+    """Round-trip and compressed-space statistic error per transform."""
+    array = _smooth_field(config.shape_3d, config.seed)
+    rows: list[tuple] = []
+    for transform in ("dct", "haar", "identity"):
+        settings = CompressionSettings(
+            block_shape=(4, 4, 4), float_format="float32", index_dtype="int16",
+            transform=transform,
+        )
+        compressor = Compressor(settings)
+        compressed = compressor.compress(array)
+        decompressed = compressor.decompress(compressed)
+        roundtrip_mae = float(np.mean(np.abs(decompressed - array)))
+        l2_error = abs(ops.l2_norm(compressed) - float(np.linalg.norm(array)))
+        if transform == "identity":
+            mean_error = float("nan")  # identity has no DC-coefficient property
+        else:
+            mean_error = abs(ops.mean(compressed) - float(array.mean()))
+        rows.append((transform, roundtrip_mae, l2_error, mean_error))
+    return ExperimentResult(
+        name="Ablation — orthonormal transform choice",
+        columns=("transform", "round-trip MAE", "L2-norm abs error", "mean abs error"),
+        rows=rows,
+        metadata={"shape": config.shape_3d, "block": "4x4x4", "index": "int16"},
+    )
+
+
+def run_backends(config: AblationConfig = AblationConfig()) -> ExperimentResult:
+    """Execution-backend ablation: identical results, different wall-clock."""
+    array = _smooth_field(config.shape_3d, config.seed)
+    settings = CompressionSettings(block_shape=(4, 4, 4), float_format="float32",
+                                   index_dtype="int16")
+    rows: list[tuple] = []
+    reference = Compressor(settings).compress(array)
+    for name, executor in (
+        ("vectorized (default)", None),
+        ("serial executor", SerialExecutor()),
+        ("thread pool (4 workers)", ThreadedExecutor(4)),
+        ("per-block Python loop", LoopExecutor()),
+    ):
+        compressor = Compressor(settings, executor=executor)
+        compressed = compressor.compress(array)
+        identical = compressed.allclose(reference)
+        seconds = median_time(lambda: compressor.compress(array), config.repeats)
+        rows.append((name, identical, seconds))
+    return ExperimentResult(
+        name="Ablation — execution backend (the GPU-vs-single-thread analogue)",
+        columns=("backend", "identical to vectorized", "compress seconds"),
+        rows=rows,
+        metadata={"shape": config.shape_3d},
+    )
+
+
+def run_index_width(config: AblationConfig = AblationConfig()) -> ExperimentResult:
+    """Bin-index width vs round-trip error and asymptotic ratio."""
+    array = _smooth_field(config.shape_3d, config.seed)
+    rows: list[tuple] = []
+    for index_dtype in ("int8", "int16", "int32", "int64"):
+        settings = CompressionSettings(
+            block_shape=(4, 4, 4), float_format="float64", index_dtype=index_dtype
+        )
+        compressor = Compressor(settings)
+        decompressed = compressor.decompress(compressor.compress(array))
+        rows.append(
+            (
+                index_dtype,
+                float(np.max(np.abs(decompressed - array))),
+                asymptotic_compression_ratio(settings, config.shape_3d),
+            )
+        )
+    return ExperimentResult(
+        name="Ablation — bin-index width vs error and ratio",
+        columns=("index type", "round-trip max error", "asymptotic ratio"),
+        rows=rows,
+        metadata={"shape": config.shape_3d, "block": "4x4x4", "float": "float64"},
+    )
+
+
+def format_result(result: ExperimentResult) -> str:
+    return result.to_text()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    for runner in (run_differentiation, run_transforms, run_backends, run_index_width):
+        print(format_result(runner()))
+        print()

@@ -1,0 +1,113 @@
+"""Shared infrastructure for the experiment harnesses.
+
+Provides a tiny timing helper (median-of-repeats wall-clock timing, adequate for the
+scaling-shape comparisons the paper makes), a generic result container, and plain-text
+table formatting so every experiment can print the rows/series its figure reports
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["Timer", "ExperimentResult", "format_table", "median_time"]
+
+
+class Timer:
+    """Context manager measuring wall-clock time in seconds."""
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+def median_time(func: Callable[[], Any], repeats: int = 3, warmup: int = 1) -> float:
+    """Median wall-clock time of ``func()`` over ``repeats`` runs after ``warmup`` calls.
+
+    The paper's timing figures compare scaling shapes across decades of array size;
+    a median of a few repeats is enough to place each point on the right curve while
+    keeping the whole sweep fast.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    for _ in range(max(0, warmup)):
+        func()
+    samples = []
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        func()
+        samples.append(time.perf_counter() - begin)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+@dataclass
+class ExperimentResult:
+    """Generic experiment output: named columns plus free-form metadata.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (e.g. ``"fig2"``).
+    columns:
+        Column headers of :attr:`rows`.
+    rows:
+        The data rows the figure/table reports.
+    metadata:
+        Anything else worth recording (configuration echoes, derived summaries).
+    """
+
+    name: str
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def column(self, name: str) -> list:
+        """Extract one column by header name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render the result as a plain-text table with its metadata footer."""
+        text = format_table(self.columns, self.rows, title=self.name)
+        if self.metadata:
+            lines = [f"  {key}: {value}" for key, value in self.metadata.items()]
+            text += "\nmetadata:\n" + "\n".join(lines)
+        return text
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.5g}"
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[str], rows: Iterable[Sequence[Any]], title: str | None = None
+) -> str:
+    """Format rows as a fixed-width text table."""
+    str_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    headers = [str(c) for c in columns]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""§IV-D — empirical validation of the compression-error bounds.
+
+The paper's error analysis gives three statements this experiment checks on random
+and structured blocks, across bin-index types:
+
+1. **Binning bound** — every kept coefficient's error is at most half a bin width,
+   ``N_k / (2r + 1)`` where ``N_k`` is the block's biggest coefficient magnitude and
+   ``r`` the index radius.
+2. **Loose L∞ bound** — every element of the decompressed array differs from the
+   lowered-precision original by at most ``‖C_k‖∞ · Π i`` within its block.
+3. **Exact L2 identity** — the L2 error of each decompressed block equals the L2 norm
+   of that block's coefficient errors (orthonormal transforms preserve 2-norms).
+
+The report shows, per index type, the observed maximum ratio of actual error to each
+bound (≤ 1 for the bounds, ≈ 1 for the identity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import CompressionSettings, Compressor
+from ..core.blocking import block_array
+from ..core.errors import binning_error_bound, block_l2_error, coefficient_errors, linf_error_bound
+from ..numerics import round_to_format
+from .common import ExperimentResult
+
+__all__ = ["ErrorBoundsConfig", "run", "format_result"]
+
+
+@dataclass(frozen=True)
+class ErrorBoundsConfig:
+    """Configuration of the error-bound validation."""
+
+    shape: tuple[int, ...] = (32, 32, 32)
+    block_shape: tuple[int, ...] = (4, 4, 4)
+    float_format: str = "float64"
+    index_dtypes: tuple[str, ...] = ("int8", "int16", "int32")
+    keep_fraction: float = 1.0
+    seed: int = 5
+
+
+def run(config: ErrorBoundsConfig = ErrorBoundsConfig()) -> ExperimentResult:
+    """Measure actual errors against the three §IV-D statements."""
+    from ..core.pruning import low_frequency_mask
+
+    rng = np.random.default_rng(config.seed)
+    array = rng.standard_normal(config.shape)
+    rows: list[tuple] = []
+
+    for index_dtype in config.index_dtypes:
+        mask = (
+            None
+            if config.keep_fraction >= 1.0
+            else low_frequency_mask(config.block_shape, config.keep_fraction)
+        )
+        settings = CompressionSettings(
+            block_shape=config.block_shape,
+            float_format=config.float_format,
+            index_dtype=index_dtype,
+            pruning_mask=mask,
+        )
+        compressor = Compressor(settings)
+        compressed = compressor.compress(array)
+
+        # 1. binning bound on kept coefficients (pruned slots are excluded: their
+        # error is the coefficient itself, covered by statement 2)
+        errors = coefficient_errors(compressed, array)
+        kept_errors = np.abs(errors) * settings.mask
+        bound = binning_error_bound(compressed.maxima, settings.index_dtype, exact=True)
+        bound_expanded = bound.reshape(bound.shape + (1,) * settings.ndim)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            ratio = np.where(bound_expanded > 0, kept_errors / bound_expanded, 0.0)
+        binning_ratio = float(np.max(ratio))
+
+        # 2. loose L-infinity bound on decompressed elements (vs the lowered-precision input)
+        lowered = round_to_format(array, settings.float_format)
+        decompressed = compressor.decompress(compressed)
+        elementwise = np.abs(decompressed - lowered)
+        blocked_error = block_array(elementwise, settings.block_shape)
+        block_axes = tuple(range(blocked_error.ndim - settings.ndim, blocked_error.ndim))
+        per_block_max = blocked_error.max(axis=block_axes)
+        linf_bound = linf_error_bound(compressed)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            linf_ratio = float(np.max(np.where(linf_bound > 0, per_block_max / linf_bound, 0.0)))
+
+        # 3. exact L2 identity per block
+        actual_l2 = np.sqrt((blocked_error**2).sum(axis=block_axes))
+        predicted_l2 = block_l2_error(compressed, array)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            l2_ratio = np.where(predicted_l2 > 0, actual_l2 / predicted_l2, 1.0)
+        rows.append(
+            (
+                index_dtype,
+                binning_ratio,
+                linf_ratio,
+                float(np.min(l2_ratio)),
+                float(np.max(l2_ratio)),
+            )
+        )
+
+    return ExperimentResult(
+        name="§IV-D — error bounds: observed error / bound (<= 1) and L2 identity (≈ 1)",
+        columns=(
+            "index type",
+            "max binning error / exact half-step bound",
+            "max element error / loose Linf bound",
+            "min actual/predicted block L2",
+            "max actual/predicted block L2",
+        ),
+        rows=rows,
+        metadata={"shape": config.shape, "block_shape": config.block_shape,
+                  "keep_fraction": config.keep_fraction},
+    )
+
+
+def format_result(result: ExperimentResult) -> str:
+    return result.to_text()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    print(format_result(run()))

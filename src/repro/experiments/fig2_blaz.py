@@ -1,0 +1,97 @@
+"""Fig 2 — PyBlaz vs Blaz operation time on 2-dimensional arrays.
+
+The paper times compress, decompress, compressed-space add and compressed-space
+multiply for both compressors on square 2-D float64 arrays from 8 to 8192 elements
+per side, with Blaz-comparable settings (8×8 blocks, int8 bin indices).  The headline
+observation is the *shape* of the curves: PyBlaz's bulk (GPU there, vectorized numpy
+here) execution is flat until the hardware saturates and then grows polynomially,
+while the single-threaded, block-at-a-time Blaz grows polynomially from the start —
+so PyBlaz wins by orders of magnitude at large sizes.
+
+The default sweep stops at 512 so the harness runs in seconds; pass a larger
+``sizes`` tuple to extend the curves (the Blaz points dominate the cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines import BlazCompressor
+from ..core import CompressionSettings, Compressor
+from ..core import ops
+from .common import ExperimentResult, median_time
+
+__all__ = ["Fig2Config", "run", "format_result"]
+
+
+@dataclass(frozen=True)
+class Fig2Config:
+    """Configuration of the Fig 2 timing sweep."""
+
+    sizes: tuple[int, ...] = (8, 16, 32, 64, 128, 256, 512)
+    repeats: int = 3
+    seed: int = 11
+    scalar: float = 1.5
+
+
+def run(config: Fig2Config = Fig2Config()) -> ExperimentResult:
+    """Time compress/decompress/add/multiply for PyBlaz and Blaz across sizes."""
+    settings = CompressionSettings(
+        block_shape=(8, 8), float_format="float64", index_dtype="int8"
+    )
+    pyblaz = Compressor(settings)
+    blaz = BlazCompressor()
+    rng = np.random.default_rng(config.seed)
+    rows: list[tuple] = []
+
+    for size in config.sizes:
+        a = rng.random((size, size))
+        b = rng.random((size, size))
+
+        pa, pb = pyblaz.compress(a), pyblaz.compress(b)
+        ba, bb = blaz.compress(a), blaz.compress(b)
+
+        timings = {
+            ("pyblaz", "compress"): median_time(lambda: pyblaz.compress(a), config.repeats),
+            ("pyblaz", "decompress"): median_time(lambda: pyblaz.decompress(pa), config.repeats),
+            ("pyblaz", "add"): median_time(lambda: ops.add(pa, pb), config.repeats),
+            ("pyblaz", "multiply"): median_time(
+                lambda: ops.multiply_scalar(pa, config.scalar), config.repeats
+            ),
+            ("blaz", "compress"): median_time(lambda: blaz.compress(a), config.repeats),
+            ("blaz", "decompress"): median_time(lambda: blaz.decompress(ba), config.repeats),
+            ("blaz", "add"): median_time(lambda: blaz.add(ba, bb), config.repeats),
+            ("blaz", "multiply"): median_time(
+                lambda: blaz.multiply_scalar(ba, config.scalar), config.repeats
+            ),
+        }
+        for (system, operation), seconds in timings.items():
+            rows.append((size, system, operation, seconds))
+
+    # summarize the headline comparison: speedup at the largest size
+    largest = config.sizes[-1]
+    speedups = {}
+    for operation in ("compress", "decompress", "add", "multiply"):
+        blaz_time = next(r[3] for r in rows if r[:3] == (largest, "blaz", operation))
+        py_time = next(r[3] for r in rows if r[:3] == (largest, "pyblaz", operation))
+        speedups[operation] = blaz_time / py_time if py_time > 0 else float("inf")
+    metadata = {
+        "settings": settings.describe(),
+        "speedup_at_largest_size": {k: round(v, 1) for k, v in speedups.items()},
+    }
+    return ExperimentResult(
+        name="Fig 2 — PyBlaz vs Blaz operation time (2-D, block 8x8, int8)",
+        columns=("array size", "system", "operation", "seconds"),
+        rows=rows,
+        metadata=metadata,
+    )
+
+
+def format_result(result: ExperimentResult) -> str:
+    return result.to_text()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    print(format_result(run()))

@@ -1,0 +1,113 @@
+"""Fig 3 — PyBlaz vs ZFP compression and decompression time (2-D and 3-D).
+
+The paper compresses and decompresses constant-gradient hypercubic arrays (§IV-E)
+with ZFP in fixed-rate mode at ratios ≈ 8, 4 and 2 (8, 16 and 32 bits per scalar) and
+with PyBlaz at ratios ≈ 8 and 4 (int8 and int16 bin indices), for 2- and 3-dimensional
+arrays from 8 to 512 elements per side.  The observation to reproduce is again the
+scaling shape: both systems' times grow polynomially with array size, with PyBlaz's
+bulk execution competitive at larger sizes, and decompression cheaper than
+compression for PyBlaz.
+
+The ZFP stand-in here is :class:`repro.baselines.zfp_like.ZFPCompressor`
+(see DESIGN.md §1 for the substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines import ZFPCompressor
+from ..core import CompressionSettings, Compressor
+from ..simulators import gradient_array
+from .common import ExperimentResult, median_time
+
+__all__ = ["Fig3Config", "run", "format_result"]
+
+
+@dataclass(frozen=True)
+class Fig3Config:
+    """Configuration of the Fig 3 timing sweep."""
+
+    sizes_2d: tuple[int, ...] = (8, 16, 32, 64, 128, 256)
+    sizes_3d: tuple[int, ...] = (8, 16, 32, 64)
+    zfp_bits: tuple[int, ...] = (8, 16, 32)  #: fixed rates → ratios 8, 4, 2
+    pyblaz_index_dtypes: tuple[str, ...] = ("int8", "int16")  #: → ratios ≈ 8, 4
+    repeats: int = 3
+
+
+def _pyblaz_settings(ndim: int, index_dtype: str) -> CompressionSettings:
+    return CompressionSettings(
+        block_shape=(4,) * ndim, float_format="float32", index_dtype=index_dtype
+    )
+
+
+def run(config: Fig3Config = Fig3Config()) -> ExperimentResult:
+    """Time compression and decompression for the ZFP-like codec and PyBlaz."""
+    rows: list[tuple] = []
+    for ndim, sizes in ((2, config.sizes_2d), (3, config.sizes_3d)):
+        for size in sizes:
+            array = gradient_array((size,) * ndim)
+
+            for bits in config.zfp_bits:
+                codec = ZFPCompressor(bits)
+                compressed = codec.compress(array)
+                rows.append(
+                    (
+                        ndim,
+                        size,
+                        f"zfp ratio {64 // bits}",
+                        "compress",
+                        median_time(lambda: codec.compress(array), config.repeats),
+                    )
+                )
+                rows.append(
+                    (
+                        ndim,
+                        size,
+                        f"zfp ratio {64 // bits}",
+                        "decompress",
+                        median_time(lambda: codec.decompress(compressed), config.repeats),
+                    )
+                )
+
+            for index_dtype in config.pyblaz_index_dtypes:
+                ratio = 8 if index_dtype == "int8" else 4
+                compressor = Compressor(_pyblaz_settings(ndim, index_dtype))
+                compressed = compressor.compress(array)
+                rows.append(
+                    (
+                        ndim,
+                        size,
+                        f"pyblaz ratio {ratio}",
+                        "compress",
+                        median_time(lambda: compressor.compress(array), config.repeats),
+                    )
+                )
+                rows.append(
+                    (
+                        ndim,
+                        size,
+                        f"pyblaz ratio {ratio}",
+                        "decompress",
+                        median_time(lambda: compressor.decompress(compressed), config.repeats),
+                    )
+                )
+
+    return ExperimentResult(
+        name="Fig 3 — PyBlaz vs ZFP compression/decompression time",
+        columns=("ndim", "array size", "system", "operation", "seconds"),
+        rows=rows,
+        metadata={
+            "workload": "constant-gradient arrays (§IV-E)",
+            "zfp_rates_bits_per_value": config.zfp_bits,
+            "pyblaz_index_dtypes": config.pyblaz_index_dtypes,
+        },
+    )
+
+
+def format_result(result: ExperimentResult) -> str:
+    return result.to_text()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    print(format_result(run()))

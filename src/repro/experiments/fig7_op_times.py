@@ -1,0 +1,107 @@
+"""Fig 7 — PyBlaz operation time on 3-dimensional arrays across compression settings.
+
+Appendix VI-B of the paper times eleven operations — compress, decompress, negate,
+add, multiply (by a scalar), dot product, L2 norm, cosine similarity, mean, variance
+and SSIM — on cubic 3-D arrays from 4 to 1024 elements per side, with block size 4
+and every combination of float type (bfloat16/float16/float32/float64) and bin index
+type (int8/int16/int32).  The qualitative observations to reproduce:
+
+* array-restructuring operations (compress, decompress) scale with array size;
+* negate and multiply are nearly constant-time (they touch only the stored indices
+  and maxima, not the coefficient space);
+* the scalar reductions (dot, L2, mean, variance, cosine, SSIM) scale with the
+  number of stored coefficients;
+* the float/index type combinations shift the curves but not their shapes.
+
+The default sweep uses a subset of sizes and setting combinations so the harness
+finishes quickly; the full grid is a configuration away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import CompressionSettings, Compressor
+from ..core import ops
+from .common import ExperimentResult, median_time
+
+__all__ = ["Fig7Config", "run", "format_result", "OPERATIONS"]
+
+#: The operations Fig 7 times, in the paper's panel order.
+OPERATIONS: tuple[str, ...] = (
+    "compress",
+    "decompress",
+    "negate",
+    "add",
+    "multiply",
+    "dot",
+    "l2_norm",
+    "cosine_similarity",
+    "mean",
+    "variance",
+    "ssim",
+)
+
+
+@dataclass(frozen=True)
+class Fig7Config:
+    """Configuration of the Fig 7 timing sweep."""
+
+    sizes: tuple[int, ...] = (4, 8, 16, 32, 64)
+    float_formats: tuple[str, ...] = ("float32", "float64")
+    index_dtypes: tuple[str, ...] = ("int8", "int16", "int32")
+    block_size: int = 4
+    repeats: int = 3
+    seed: int = 3
+
+
+def run(config: Fig7Config = Fig7Config()) -> ExperimentResult:
+    """Time every Fig 7 operation across sizes and setting combinations."""
+    rng = np.random.default_rng(config.seed)
+    rows: list[tuple] = []
+    for float_format in config.float_formats:
+        for index_dtype in config.index_dtypes:
+            settings = CompressionSettings(
+                block_shape=(config.block_size,) * 3,
+                float_format=float_format,
+                index_dtype=index_dtype,
+            )
+            compressor = Compressor(settings)
+            for size in config.sizes:
+                a = rng.random((size, size, size))
+                b = rng.random((size, size, size))
+                ca, cb = compressor.compress(a), compressor.compress(b)
+
+                timed = {
+                    "compress": lambda: compressor.compress(a),
+                    "decompress": lambda: compressor.decompress(ca),
+                    "negate": lambda: ops.negate(ca),
+                    "add": lambda: ops.add(ca, cb),
+                    "multiply": lambda: ops.multiply_scalar(ca, 1.5),
+                    "dot": lambda: ops.dot(ca, cb),
+                    "l2_norm": lambda: ops.l2_norm(ca),
+                    "cosine_similarity": lambda: ops.cosine_similarity(ca, cb),
+                    "mean": lambda: ops.mean(ca),
+                    "variance": lambda: ops.variance(ca),
+                    "ssim": lambda: ops.structural_similarity(ca, cb),
+                }
+                for operation in OPERATIONS:
+                    seconds = median_time(timed[operation], config.repeats)
+                    rows.append((size, float_format, index_dtype, operation, seconds))
+
+    return ExperimentResult(
+        name="Fig 7 — PyBlaz operation time (3-D arrays, block size 4)",
+        columns=("array size", "float", "index", "operation", "seconds"),
+        rows=rows,
+        metadata={"block_size": config.block_size, "sizes": config.sizes},
+    )
+
+
+def format_result(result: ExperimentResult) -> str:
+    return result.to_text()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    print(format_result(run()))

@@ -1,0 +1,156 @@
+"""Descriptions of the binary floating-point formats PyBlaz supports.
+
+A :class:`FloatFormat` captures the parameters of an IEEE-754-style binary format:
+the number of stored significand (fraction) bits, the number of exponent bits, and
+everything derivable from those two (bias, maximum finite value, smallest normal,
+machine epsilon).  The four formats used by the paper are provided as module-level
+constants.
+
+``bfloat16`` is not an IEEE interchange format but follows the same construction
+(1 sign bit, 8 exponent bits, 7 fraction bits); it shares float32's exponent range
+and therefore "avoids NaNs because of its longer exponent" as §V-B puts it, while
+having a much shorter significand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "FloatFormat",
+    "BFLOAT16",
+    "FLOAT16",
+    "FLOAT32",
+    "FLOAT64",
+    "FORMATS_BY_NAME",
+    "resolve_format",
+]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """Parameters of a binary floating-point format.
+
+    Parameters
+    ----------
+    name:
+        Canonical lower-case name, e.g. ``"bfloat16"``.
+    fraction_bits:
+        Number of explicitly stored significand bits (not counting the hidden bit).
+    exponent_bits:
+        Number of exponent bits.
+    storage_bits:
+        Total storage width in bits (1 sign bit + exponent + fraction, possibly
+        padded); used for compressed-size accounting.
+    numpy_dtype:
+        The numpy dtype natively implementing this format, or ``None`` when the
+        format must be emulated (bfloat16).
+    """
+
+    name: str
+    fraction_bits: int
+    exponent_bits: int
+    storage_bits: int
+    numpy_dtype: np.dtype | None = field(default=None, compare=False)
+
+    # ------------------------------------------------------------------ derived
+    @property
+    def precision_bits(self) -> int:
+        """Significand precision including the hidden leading bit."""
+        return self.fraction_bits + 1
+
+    @property
+    def exponent_bias(self) -> int:
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def max_exponent(self) -> int:
+        """Largest unbiased exponent of a finite normal number."""
+        return (1 << self.exponent_bits) - 2 - self.exponent_bias
+
+    @property
+    def min_exponent(self) -> int:
+        """Smallest unbiased exponent of a normal number."""
+        return 1 - self.exponent_bias
+
+    @property
+    def machine_epsilon(self) -> float:
+        """Gap between 1.0 and the next representable number."""
+        return float(2.0 ** (-self.fraction_bits))
+
+    @property
+    def max_finite(self) -> float:
+        """Largest representable finite magnitude."""
+        return float((2.0 - 2.0 ** (-self.fraction_bits)) * 2.0 ** self.max_exponent)
+
+    @property
+    def smallest_normal(self) -> float:
+        return float(2.0 ** self.min_exponent)
+
+    @property
+    def smallest_subnormal(self) -> float:
+        return float(2.0 ** (self.min_exponent - self.fraction_bits))
+
+    @property
+    def is_native(self) -> bool:
+        """Whether numpy implements this format natively."""
+        return self.numpy_dtype is not None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+BFLOAT16 = FloatFormat("bfloat16", fraction_bits=7, exponent_bits=8, storage_bits=16)
+FLOAT16 = FloatFormat(
+    "float16", fraction_bits=10, exponent_bits=5, storage_bits=16, numpy_dtype=np.dtype(np.float16)
+)
+FLOAT32 = FloatFormat(
+    "float32", fraction_bits=23, exponent_bits=8, storage_bits=32, numpy_dtype=np.dtype(np.float32)
+)
+FLOAT64 = FloatFormat(
+    "float64", fraction_bits=52, exponent_bits=11, storage_bits=64, numpy_dtype=np.dtype(np.float64)
+)
+
+FORMATS_BY_NAME: dict[str, FloatFormat] = {
+    "bfloat16": BFLOAT16,
+    "bf16": BFLOAT16,
+    "float16": FLOAT16,
+    "fp16": FLOAT16,
+    "half": FLOAT16,
+    "float32": FLOAT32,
+    "fp32": FLOAT32,
+    "single": FLOAT32,
+    "float64": FLOAT64,
+    "fp64": FLOAT64,
+    "double": FLOAT64,
+}
+
+
+def resolve_format(spec: "FloatFormat | str | np.dtype | type") -> FloatFormat:
+    """Resolve a user-provided format specification to a :class:`FloatFormat`.
+
+    Accepts an existing :class:`FloatFormat`, a name (``"fp16"``, ``"bfloat16"``,
+    ``"float32"`` ...), a numpy dtype, or a numpy scalar type.
+
+    Raises
+    ------
+    ValueError
+        If the specification does not name a supported format.
+    """
+    if isinstance(spec, FloatFormat):
+        return spec
+    if isinstance(spec, str):
+        key = spec.strip().lower()
+        if key in FORMATS_BY_NAME:
+            return FORMATS_BY_NAME[key]
+        raise ValueError(f"unknown float format {spec!r}")
+    try:
+        dtype = np.dtype(spec)
+    except TypeError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"cannot interpret {spec!r} as a float format") from exc
+    for fmt in (FLOAT16, FLOAT32, FLOAT64):
+        if fmt.numpy_dtype == dtype:
+            return fmt
+    raise ValueError(f"unsupported float dtype {dtype}")

@@ -1,0 +1,30 @@
+"""Block-chunked execution backends.
+
+The paper's implementation relies on GPU-powered PyTorch to process all blocks of an
+array simultaneously; its performance argument (Fig 2, Fig 7) is the contrast between
+bulk block-parallel execution and a per-block serial loop (the original Blaz).  This
+subpackage provides the analogous execution substrate for the numpy backend:
+
+* :class:`SerialExecutor` — processes the block grid in one vectorized call (the
+  default behaviour of :class:`repro.core.Compressor` even without an executor);
+  useful as an explicit baseline.
+* :class:`ThreadedExecutor` — splits the block grid into chunks dispatched to a
+  thread pool.  numpy releases the GIL inside its inner loops, so large arrays gain
+  real concurrency; results are bit-identical to the serial path.
+* :class:`LoopExecutor` — a deliberately slow pure-Python per-block loop, used by the
+  ablation benchmarks as the "single-threaded Blaz-style" reference point.
+
+All executors implement the two hooks the compressor calls:
+``transform_and_bin(blocked, transform, settings)`` and
+``inverse_transform(coefficients, transform, settings)``.
+"""
+
+from .executors import BlockExecutor, LoopExecutor, SerialExecutor, ThreadedExecutor, chunk_slices
+
+__all__ = [
+    "BlockExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "LoopExecutor",
+    "chunk_slices",
+]

@@ -1,0 +1,172 @@
+"""Execution backends for the transform/binning stages of the compressor.
+
+The compressor's hot loop is "for every block: transform, then bin".  The three
+executors here realise that loop in different ways while producing bit-identical
+results, which lets the benchmarks isolate the cost of execution strategy from the
+cost of the algorithm — the same distinction the paper draws between GPU PyBlaz and
+single-threaded Blaz.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.binning import bin_coefficients, block_maxima, index_radius
+from ..core.settings import CompressionSettings
+from ..core.transforms import Transform
+
+__all__ = [
+    "BlockExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "LoopExecutor",
+    "chunk_slices",
+]
+
+
+def chunk_slices(n_items: int, n_chunks: int) -> Iterator[slice]:
+    """Split ``range(n_items)`` into at most ``n_chunks`` contiguous, near-equal slices.
+
+    Deterministic: chunk boundaries depend only on the two arguments, so chunked and
+    unchunked execution orders produce identical floating-point results (each block's
+    computation is independent).
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be positive")
+    n_chunks = min(n_chunks, max(n_items, 1))
+    base, extra = divmod(n_items, n_chunks)
+    start = 0
+    for index in range(n_chunks):
+        length = base + (1 if index < extra else 0)
+        if length == 0:
+            continue
+        yield slice(start, start + length)
+        start += length
+
+
+class BlockExecutor(abc.ABC):
+    """Interface the compressor uses to run the per-block pipeline stages."""
+
+    @abc.abstractmethod
+    def transform_and_bin(
+        self,
+        blocked: np.ndarray,
+        transform: Transform,
+        settings: CompressionSettings,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(maxima, blocked_indices)`` for a blocked data array."""
+
+    @abc.abstractmethod
+    def inverse_transform(
+        self,
+        coefficients: np.ndarray,
+        transform: Transform,
+        settings: CompressionSettings,
+    ) -> np.ndarray:
+        """Return the blocked data reconstructed from blocked coefficients."""
+
+
+class SerialExecutor(BlockExecutor):
+    """Vectorized single-call execution over the whole block grid (the default path)."""
+
+    def transform_and_bin(self, blocked, transform, settings):
+        coefficients = transform.forward(blocked)
+        return bin_coefficients(coefficients, settings.ndim, settings.index_dtype)
+
+    def inverse_transform(self, coefficients, transform, settings):
+        return transform.inverse(coefficients)
+
+
+class _ChunkingExecutor(BlockExecutor):
+    """Shared machinery for executors that flatten the grid and process chunks."""
+
+    def __init__(self, n_chunks: int):
+        if n_chunks < 1:
+            raise ValueError("n_chunks must be positive")
+        self.n_chunks = int(n_chunks)
+
+    # -- mapping helpers -----------------------------------------------------
+    def _map_chunks(self, func, flat: np.ndarray, out: np.ndarray) -> None:
+        """Apply ``func`` to each chunk of the leading axis, writing into ``out``."""
+        raise NotImplementedError
+
+    def transform_and_bin(self, blocked, transform, settings):
+        ndim = settings.ndim
+        grid_shape = blocked.shape[:-ndim] if blocked.ndim > ndim else ()
+        n_blocks = int(np.prod(grid_shape)) if grid_shape else 1
+        flat = np.ascontiguousarray(blocked).reshape((n_blocks,) + settings.block_shape)
+        coefficients = np.empty_like(flat, dtype=np.float64)
+
+        def work(chunk: np.ndarray) -> np.ndarray:
+            return transform.forward(chunk)
+
+        self._map_chunks(work, flat, coefficients)
+        maxima = block_maxima(coefficients, ndim).reshape(grid_shape)
+        radius = index_radius(settings.index_dtype)
+        expand = maxima.reshape((n_blocks,) + (1,) * ndim)
+        safe = np.where(expand == 0.0, 1.0, expand)
+        indices = np.rint((coefficients / safe) * float(radius))
+        limit = float(radius) if settings.index_dtype.itemsize < 8 else float(2**63 - 1024)
+        np.clip(indices, -limit, limit, out=indices)
+        indices = indices.astype(settings.index_dtype)
+        return maxima, indices.reshape(grid_shape + settings.block_shape)
+
+    def inverse_transform(self, coefficients, transform, settings):
+        ndim = settings.ndim
+        grid_shape = coefficients.shape[:-ndim] if coefficients.ndim > ndim else ()
+        n_blocks = int(np.prod(grid_shape)) if grid_shape else 1
+        flat = np.ascontiguousarray(coefficients).reshape((n_blocks,) + settings.block_shape)
+        out = np.empty_like(flat, dtype=np.float64)
+
+        def work(chunk: np.ndarray) -> np.ndarray:
+            return transform.inverse(chunk)
+
+        self._map_chunks(work, flat, out)
+        return out.reshape(grid_shape + settings.block_shape)
+
+
+class ThreadedExecutor(_ChunkingExecutor):
+    """Thread-pool execution over chunks of the block grid.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of worker threads (and chunks).  Results are identical to the serial
+        path; only wall-clock time differs.
+    """
+
+    def __init__(self, n_workers: int = 4):
+        super().__init__(n_chunks=n_workers)
+        self.n_workers = int(n_workers)
+
+    def _map_chunks(self, func, flat, out):
+        slices = list(chunk_slices(flat.shape[0], self.n_chunks))
+        if len(slices) <= 1:
+            for sl in slices:
+                out[sl] = func(flat[sl])
+            return
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            futures = {pool.submit(func, flat[sl]): sl for sl in slices}
+            for future, sl in futures.items():
+                out[sl] = future.result()
+
+
+class LoopExecutor(_ChunkingExecutor):
+    """Pure-Python per-block loop — the deliberately slow single-threaded reference.
+
+    Used by the backend ablation benchmark to quantify what bulk vectorized execution
+    buys, mirroring the paper's PyBlaz-vs-Blaz comparison on equal algorithmic terms.
+    """
+
+    def __init__(self):
+        super().__init__(n_chunks=1)
+
+    def _map_chunks(self, func, flat, out):
+        for index in range(flat.shape[0]):
+            out[index] = func(flat[index])

@@ -1,0 +1,35 @@
+"""Data-generating substrates standing in for the paper's external datasets.
+
+The paper evaluates on three external data sources plus a synthetic timing workload;
+none of them can be redistributed or re-run here, so each is replaced by a generator
+that produces data with the properties the corresponding experiment actually relies
+on (see DESIGN.md §1 for the substitution rationale):
+
+* :mod:`repro.simulators.shallow_water` — a 2-D shallow-water-equation solver with
+  double-gyre wind forcing, seamount topography and emulated working precision
+  (stands in for ShallowWaters.jl, §V-A / Fig 4).
+* :mod:`repro.simulators.mri` — synthetic multi-channel brain-MRI-like volumes with
+  the LGG dataset's shape distribution and intensity statistics (§V-B / Fig 5).
+* :mod:`repro.simulators.fission` — a synthetic plutonium-fission density time
+  series on a 40×40×66 grid with a scission event between time steps 690 and 692
+  and non-topological noise events (§V-C / Fig 6).
+* :mod:`repro.simulators.gradients` — the constant-gradient arrays used for the
+  ZFP timing comparison (§IV-E / Fig 3).
+"""
+
+from .fission import FissionSeries, generate_fission_series
+from .gradients import gradient_array
+from .mri import MRIVolume, generate_mri_dataset, generate_mri_volume
+from .shallow_water import ShallowWaterConfig, ShallowWaterResult, ShallowWaterSimulator
+
+__all__ = [
+    "ShallowWaterConfig",
+    "ShallowWaterSimulator",
+    "ShallowWaterResult",
+    "MRIVolume",
+    "generate_mri_volume",
+    "generate_mri_dataset",
+    "FissionSeries",
+    "generate_fission_series",
+    "gradient_array",
+]

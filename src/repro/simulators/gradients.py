@@ -1,0 +1,43 @@
+"""Constant-gradient test arrays (§IV-E).
+
+For the ZFP timing comparison the paper compresses "hypercubic arrays with elements
+ranging from 0 to 1 arranged in a constant gradient from the lowest indices to the
+highest indices", i.e. the array ``X`` shaped ``s`` with
+
+    ``X_x = Σ(x) / Σ(s - 1)``
+
+(each element is the sum of its zero-based index coordinates divided by the largest
+possible such sum).  :func:`gradient_array` builds exactly that array for any shape.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["gradient_array"]
+
+
+def gradient_array(shape: Sequence[int], dtype=np.float64) -> np.ndarray:
+    """The constant-gradient array of §IV-E: index-coordinate sum normalised to [0, 1].
+
+    Parameters
+    ----------
+    shape:
+        Array extents.  A shape of all-ones yields an all-zero array (the
+        denominator would be zero; the paper's arrays are always larger).
+    dtype:
+        Output floating dtype.
+    """
+    shape = tuple(int(s) for s in shape)
+    if any(s < 1 for s in shape):
+        raise ValueError(f"shape extents must be positive, got {shape}")
+    denominator = float(sum(s - 1 for s in shape))
+    grids = np.meshgrid(*[np.arange(extent, dtype=np.float64) for extent in shape], indexing="ij")
+    total = np.zeros(shape, dtype=np.float64)
+    for grid in grids:
+        total += grid
+    if denominator == 0.0:
+        return total.astype(dtype)
+    return (total / denominator).astype(dtype)

@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionSettings, Compressor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+def smooth_field(shape, seed: int = 0, noise: float = 0.02) -> np.ndarray:
+    """Smooth multi-frequency field plus small noise — realistic compressible data."""
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(*[np.linspace(0.0, 1.0, s) for s in shape], indexing="ij")
+    values = np.zeros(shape)
+    for k, g in enumerate(grids, start=1):
+        values += np.sin(2 * np.pi * k * g) + 0.3 * np.cos(3 * np.pi * g)
+    if noise:
+        values += noise * rng.standard_normal(shape)
+    return values
+
+
+@pytest.fixture
+def field_3d() -> np.ndarray:
+    """A 3-D smooth field whose shape is a multiple of (4, 4, 4)."""
+    return smooth_field((16, 20, 24), seed=1)
+
+
+@pytest.fixture
+def field_2d() -> np.ndarray:
+    """A 2-D smooth field whose shape is a multiple of (8, 8)."""
+    return smooth_field((40, 48), seed=2)
+
+
+@pytest.fixture
+def settings_3d() -> CompressionSettings:
+    return CompressionSettings(block_shape=(4, 4, 4), float_format="float32", index_dtype="int16")
+
+
+@pytest.fixture
+def settings_2d() -> CompressionSettings:
+    return CompressionSettings(block_shape=(8, 8), float_format="float64", index_dtype="int16")
+
+
+@pytest.fixture
+def compressor_3d(settings_3d) -> Compressor:
+    return Compressor(settings_3d)
+
+
+@pytest.fixture
+def compressor_2d(settings_2d) -> Compressor:
+    return Compressor(settings_2d)

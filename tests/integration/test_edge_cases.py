@@ -1,0 +1,128 @@
+"""Edge-case and failure-injection tests across the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionSettings, Compressor, ops
+from repro.core.codec import deserialize, serialize
+from repro.core.pruning import top_k_mask
+
+
+class TestExtremeShapes:
+    def test_single_element_array(self):
+        settings = CompressionSettings(block_shape=(1,), float_format="float64",
+                                       index_dtype="int16")
+        compressor = Compressor(settings)
+        array = np.array([3.75])
+        compressed = compressor.compress(array)
+        assert np.allclose(compressor.decompress(compressed), array, atol=1e-12)
+        assert ops.mean(compressed) == pytest.approx(3.75, abs=1e-9)
+
+    def test_one_element_blocks_are_exact_modulo_binning(self):
+        # §IV-B: one-element blocks make approximate operations exact
+        settings = CompressionSettings(block_shape=(1, 1), float_format="float64",
+                                       index_dtype="int32")
+        compressor = Compressor(settings)
+        rng = np.random.default_rng(0)
+        array = rng.random((6, 7))
+        compressed = compressor.compress(array)
+        assert np.allclose(compressed.blockwise_means(), array, atol=1e-7)
+
+    def test_block_larger_than_array(self):
+        settings = CompressionSettings(block_shape=(16, 16), float_format="float64",
+                                       index_dtype="int16")
+        compressor = Compressor(settings)
+        array = np.random.default_rng(1).random((5, 3))
+        restored = compressor.decompress(compressor.compress(array))
+        assert restored.shape == (5, 3)
+        assert np.abs(restored - array).max() < 0.05
+
+    def test_4d_and_5d_arrays(self):
+        for ndim in (4, 5):
+            settings = CompressionSettings(block_shape=(2,) * ndim, float_format="float64",
+                                           index_dtype="int16")
+            compressor = Compressor(settings)
+            array = np.random.default_rng(ndim).random((3,) * ndim)
+            restored = compressor.decompress(compressor.compress(array))
+            assert restored.shape == array.shape
+            assert np.abs(restored - array).max() < 0.05
+
+    def test_1d_pipeline_with_all_ops(self):
+        settings = CompressionSettings(block_shape=(8,), float_format="float32",
+                                       index_dtype="int16")
+        compressor = Compressor(settings)
+        rng = np.random.default_rng(2)
+        a, b = rng.random(64), rng.random(64)
+        ca, cb = compressor.compress(a), compressor.compress(b)
+        assert ops.dot(ca, cb) == pytest.approx(float(a @ b), rel=1e-3)
+        assert ops.mean(ca) == pytest.approx(a.mean(), abs=1e-3)
+        assert ops.l2_norm(cb) == pytest.approx(np.linalg.norm(b), rel=1e-3)
+        assert deserialize(serialize(ca)).allclose(ca)
+
+
+class TestExtremeValues:
+    def test_tiny_magnitudes(self):
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float64",
+                                       index_dtype="int16")
+        compressor = Compressor(settings)
+        array = np.random.default_rng(3).random((8, 8)) * 1e-150
+        restored = compressor.decompress(compressor.compress(array))
+        assert np.abs(restored - array).max() < 1e-152
+
+    def test_huge_magnitudes(self):
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float64",
+                                       index_dtype="int32")
+        compressor = Compressor(settings)
+        array = np.random.default_rng(4).random((8, 8)) * 1e150
+        restored = compressor.decompress(compressor.compress(array))
+        assert np.abs(restored - array).max() < 1e145
+
+    def test_mixed_sign_large_dynamic_range(self):
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float64",
+                                       index_dtype="int32")
+        compressor = Compressor(settings)
+        array = np.array([[1e-6, -1e6], [5.0, -0.25]]).repeat(4, axis=0).repeat(4, axis=1)
+        restored = compressor.decompress(compressor.compress(array))
+        # the within-block error scale is set by the largest coefficient
+        assert np.abs(restored - array).max() < 1e6 / (2**31 - 1) * 16
+
+    def test_float16_overflow_is_rejected_cleanly(self):
+        # values exceeding float16 range become inf during the conversion step; the
+        # compressor refuses to continue rather than silently binning infinities
+        settings = CompressionSettings(block_shape=(4,), float_format="float16",
+                                       index_dtype="int16")
+        compressor = Compressor(settings)
+        with pytest.raises((ValueError, FloatingPointError)):
+            compressed = compressor.compress(np.array([1e6, 1.0, 2.0, 3.0]))
+            # if compression somehow succeeded, decompression must still be finite
+            assert np.all(np.isfinite(compressor.decompress(compressed)))
+
+
+class TestAggressivePruning:
+    def test_dc_only_pruning_keeps_means(self):
+        mask = top_k_mask((4, 4), 1)  # keep only the DC coefficient
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float64",
+                                       index_dtype="int16", pruning_mask=mask)
+        compressor = Compressor(settings)
+        rng = np.random.default_rng(5)
+        array = rng.random((16, 16))
+        compressed = compressor.compress(array)
+        # the reconstruction is piecewise-constant at the block means
+        restored = compressor.decompress(compressed)
+        from repro.core.blocking import block_array
+
+        block_means = block_array(array, (4, 4)).mean(axis=(-1, -2))
+        assert np.allclose(compressed.blockwise_means(), block_means, atol=1e-3)
+        assert ops.mean(compressed) == pytest.approx(array.mean(), abs=1e-3)
+        assert np.abs(restored - array).max() < 1.0
+
+    def test_serialization_roundtrip_under_heavy_pruning(self):
+        mask = top_k_mask((8, 8), 3)
+        settings = CompressionSettings(block_shape=(8, 8), float_format="bfloat16",
+                                       index_dtype="int8", pruning_mask=mask)
+        compressor = Compressor(settings)
+        array = np.random.default_rng(6).random((24, 24))
+        compressed = compressor.compress(array)
+        restored = deserialize(serialize(compressed))
+        assert restored.allclose(compressed, rtol=1e-6)
+        assert restored.settings.kept_per_block == 3

@@ -1,0 +1,162 @@
+"""Integration tests for the experiment harnesses (small configurations).
+
+Each paper table/figure harness is run at a reduced scale and checked for the
+qualitative shape the paper reports; the full-scale runs live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablations,
+    compression_ratio,
+    error_bounds,
+    fig2_blaz,
+    fig3_zfp,
+    fig4_shallow_water,
+    fig5_lgg,
+    fig6_fission,
+    fig7_op_times,
+    table1_operations,
+)
+
+
+class TestTable1AndRatio:
+    def test_table1_rows_cover_all_operations(self):
+        result = table1_operations.run()
+        names = {row[0] for row in result.rows}
+        assert len(names) == 12  # the "dozen fairly fundamental operations"
+
+    def test_ratio_paper_examples(self):
+        examples = compression_ratio.paper_examples()
+        assert examples[0][2] == pytest.approx(2.91, abs=0.01)
+        assert examples[1][2] == pytest.approx(10.66, abs=0.01)
+
+    def test_ratio_sweep_monotone_in_pruning(self):
+        result = compression_ratio.run()
+        # for a fixed block shape and index type, keeping fewer coefficients
+        # gives a higher asymptotic ratio
+        rows = [r for r in result.rows if r[0] == "4x4x4" and r[1] == "int16"]
+        by_keep = {r[2]: r[4] for r in rows}
+        assert by_keep[0.25] > by_keep[0.5] > by_keep[1.0]
+
+
+class TestTimingHarnesses:
+    def test_fig2_shapes_and_speedup(self):
+        config = fig2_blaz.Fig2Config(sizes=(16, 64), repeats=1)
+        result = fig2_blaz.run(config)
+        systems = {row[1] for row in result.rows}
+        operations = {row[2] for row in result.rows}
+        assert systems == {"pyblaz", "blaz"}
+        assert operations == {"compress", "decompress", "add", "multiply"}
+        # vectorized PyBlaz beats the per-block Blaz loop at the larger size
+        speedups = result.metadata["speedup_at_largest_size"]
+        assert speedups["compress"] > 1.0
+        assert speedups["add"] > 1.0
+
+    def test_fig3_covers_both_dimensionalities_and_systems(self):
+        config = fig3_zfp.Fig3Config(sizes_2d=(16, 32), sizes_3d=(8,), repeats=1)
+        result = fig3_zfp.run(config)
+        ndims = {row[0] for row in result.rows}
+        systems = {row[2] for row in result.rows}
+        assert ndims == {2, 3}
+        assert any(s.startswith("zfp") for s in systems)
+        assert any(s.startswith("pyblaz") for s in systems)
+        assert all(row[4] >= 0 for row in result.rows)
+
+    def test_fig7_operations_all_timed(self):
+        config = fig7_op_times.Fig7Config(sizes=(8, 16), float_formats=("float32",),
+                                          index_dtypes=("int16",), repeats=1)
+        result = fig7_op_times.run(config)
+        operations = {row[3] for row in result.rows}
+        assert operations == set(fig7_op_times.OPERATIONS)
+        # compression time grows with the array size
+        compress_times = {row[0]: row[4] for row in result.rows if row[3] == "compress"}
+        assert compress_times[16] >= 0
+
+
+class TestScienceHarnesses:
+    def test_fig4_compressed_difference_captures_perturbation(self):
+        config = fig4_shallow_water.Fig4Config(grid_nx=32, grid_ny=64, n_steps=8000)
+        result = fig4_shallow_water.run(config)
+        values = dict(result.rows)
+        correlation = values["correlation(uncompressed diff, compressed diff)"]
+        assert correlation > 0.5  # the compressed difference localises the same regions
+        assert values["max |FP16 − FP32| (uncompressed)"] > 0
+
+    def test_fig5_error_trends(self):
+        config = fig5_lgg.Fig5Config(n_volumes=2, plane_size=32,
+                                     float_formats=("float16", "float32", "float64"),
+                                     index_dtypes=("int8", "int16"),
+                                     block_shapes=((4, 4, 4), (8, 8, 8), (4, 16, 16)))
+        result = fig5_lgg.run(config)
+        rows = result.rows
+
+        def mae(operation, block, float_format, index):
+            for r in rows:
+                if r[:4] == (operation, block, float_format, index):
+                    return r[4]
+            raise AssertionError("row not found")
+
+        def ratio(block, float_format, index):
+            for r in rows:
+                if r[1:4] == (block, float_format, index):
+                    return r[6]
+            raise AssertionError("row not found")
+
+        # float32 and float64 achieve almost the same error (paper's observation)
+        assert mae("mean", "4x4x4", "float32", "int16") == pytest.approx(
+            mae("mean", "4x4x4", "float64", "int16"), rel=0.5, abs=1e-6
+        )
+        # float16 is markedly worse than float32 on at least one statistic
+        assert (
+            mae("variance", "4x4x4", "float16", "int16")
+            >= mae("variance", "4x4x4", "float32", "int16") * 0.9
+        )
+        # int8 compresses roughly twice as well as int16
+        assert ratio("4x4x4", "float32", "int8") > 1.5 * 0.9 * ratio("4x4x4", "float32", "int16") / 2
+        # non-hypercubic blocks achieve a higher ratio than 8x8x8 on shallow volumes
+        assert ratio("4x16x16", "float32", "int16") > ratio("8x8x8", "float32", "int16")
+
+    def test_fig6_scission_detected_and_l2_error_small(self):
+        config = fig6_fission.Fig6Config(grid_shape=(40, 40, 66),
+                                         wasserstein_orders=(1, 8, 68))
+        result = fig6_fission.run(config)
+        meta = result.metadata
+        assert meta["L2_detected_pair"] == meta["known_scission_pair"]
+        assert meta["Wasserstein_p68_detected_pair"] == meta["known_scission_pair"]
+        # compressed vs uncompressed L2 curves nearly coincide (paper: 1.68 vs mean 619)
+        assert meta["max_L2_deviation_compressed_vs_uncompressed"] < 0.05 * meta["mean_L2_uncompressed"]
+
+    def test_error_bounds_hold(self):
+        result = error_bounds.run()
+        for row in result.rows:
+            index_type, binning_ratio, linf_ratio, l2_low, l2_high = row
+            assert binning_ratio <= 1.0 + 1e-9, index_type
+            assert linf_ratio <= 1.0 + 1e-9, index_type
+            assert l2_low == pytest.approx(1.0, rel=1e-6)
+            assert l2_high == pytest.approx(1.0, rel=1e-6)
+
+
+class TestAblationHarnesses:
+    def test_differentiation_ablation_favours_pyblaz_addition(self):
+        result = ablations.run_differentiation()
+        values = dict(result.rows)
+        assert values["pyblaz compressed-space add"] <= values["blaz compressed-space add"]
+
+    def test_transform_ablation_dct_not_worse_than_identity(self):
+        result = ablations.run_transforms()
+        by_transform = {row[0]: row for row in result.rows}
+        assert by_transform["dct"][1] <= by_transform["identity"][1] * 5
+        assert np.isnan(by_transform["identity"][3])
+
+    def test_backend_ablation_results_identical(self):
+        result = ablations.run_backends()
+        assert all(row[1] for row in result.rows)
+
+    def test_index_width_ablation_monotone_error(self):
+        result = ablations.run_index_width()
+        errors = [row[1] for row in result.rows]
+        ratios = [row[2] for row in result.rows]
+        assert errors[1] < errors[0]  # int16 better than int8
+        assert ratios[0] > ratios[1]  # int8 compresses more

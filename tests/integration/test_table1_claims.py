@@ -1,0 +1,125 @@
+"""Integration tests asserting the error classification of Table I.
+
+"No additional error" operations must agree with the same operation applied to the
+decompressed operands up to floating-point rounding; "rebinning" operations must stay
+within the rebinning half-bin bound; the Wasserstein approximation must improve as
+blocks shrink.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import reference_wasserstein
+from repro.core import CompressionSettings, Compressor, ops
+from repro.core.binning import index_radius
+from repro.experiments import table1_operations
+from tests.conftest import smooth_field
+
+
+@pytest.fixture(scope="module")
+def workload():
+    settings = CompressionSettings(block_shape=(4, 4, 4), float_format="float32",
+                                   index_dtype="int16")
+    compressor = Compressor(settings)
+    a = smooth_field((20, 24, 28), seed=101)
+    b = smooth_field((20, 24, 28), seed=202)
+    ca, cb = compressor.compress(a), compressor.compress(b)
+    return settings, compressor, a, b, ca, cb
+
+
+class TestNoAdditionalErrorClaims:
+    def test_negation_exact(self, workload):
+        _, compressor, *_ , ca, _ = workload
+        assert np.array_equal(compressor.decompress(ops.negate(ca)),
+                              -compressor.decompress(ca))
+
+    def test_scalar_multiplication_exact(self, workload):
+        _, compressor, *_, ca, _ = workload
+        da = compressor.decompress(ca)
+        for scalar in (3.0, -0.5, 1e-3):
+            assert np.allclose(compressor.decompress(ops.multiply_scalar(ca, scalar)),
+                               scalar * da, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize(
+        "op_name",
+        ["dot", "mean", "covariance", "variance", "l2_norm", "cosine", "ssim"],
+    )
+    def test_scalar_reductions_match_decompressed(self, workload, op_name):
+        _, compressor, _, _, ca, cb = workload
+        da, db = compressor.decompress(ca), compressor.decompress(cb)
+        if op_name == "dot":
+            assert ops.dot(ca, cb) == pytest.approx(float(np.vdot(da, db)), rel=1e-9)
+        elif op_name == "mean":
+            assert ops.mean(ca) == pytest.approx(float(da.mean()), rel=1e-9)
+        elif op_name == "covariance":
+            expected = float(np.mean((da - da.mean()) * (db - db.mean())))
+            assert ops.covariance(ca, cb) == pytest.approx(expected, rel=1e-8, abs=1e-12)
+        elif op_name == "variance":
+            assert ops.variance(ca) == pytest.approx(float(da.var()), rel=1e-9)
+        elif op_name == "l2_norm":
+            assert ops.l2_norm(ca) == pytest.approx(float(np.linalg.norm(da)), rel=1e-10)
+        elif op_name == "cosine":
+            expected = float(np.vdot(da, db) / (np.linalg.norm(da) * np.linalg.norm(db)))
+            assert ops.cosine_similarity(ca, cb) == pytest.approx(expected, rel=1e-10)
+        elif op_name == "ssim":
+            from repro.analysis import reference_ssim
+
+            assert ops.structural_similarity(ca, cb) == pytest.approx(
+                reference_ssim(da, db), rel=1e-7
+            )
+
+
+class TestRebinningErrorClaims:
+    def test_addition_error_within_rebinning_budget(self, workload):
+        settings, compressor, _, _, ca, cb = workload
+        da, db = compressor.decompress(ca), compressor.decompress(cb)
+        total = compressor.decompress(ops.add(ca, cb))
+        radius = index_radius(settings.index_dtype)
+        # each coefficient moves by at most half a new bin; an element of the
+        # decompressed block is a unit-norm combination of block_size coefficients
+        per_coefficient = (ca.maxima + cb.maxima).max() / (2 * radius)
+        bound = per_coefficient * settings.block_size
+        assert np.abs(total - (da + db)).max() <= bound
+
+    def test_scalar_addition_error_within_rebinning_budget(self, workload):
+        settings, compressor, a, _, ca, _ = workload
+        da = compressor.decompress(ca)
+        scalar = 2.0
+        shifted = compressor.decompress(ops.add_scalar(ca, scalar))
+        radius = index_radius(settings.index_dtype)
+        new_max = (ca.maxima + abs(scalar) * settings.dc_scale).max()
+        bound = (new_max / (2 * radius)) * settings.block_size
+        assert np.abs(shifted - (da + scalar)).max() <= bound
+
+
+class TestWassersteinBlockSizeClaim:
+    def test_error_shrinks_with_block_size(self):
+        a = smooth_field((16, 16, 16), seed=31) + 1.0
+        b = smooth_field((16, 16, 16), seed=32) + 1.2
+        exact = reference_wasserstein(a, b, order=2)
+        errors = {}
+        for block in ((2, 2, 2), (8, 8, 8)):
+            settings = CompressionSettings(block_shape=block, float_format="float64",
+                                           index_dtype="int32")
+            compressor = Compressor(settings)
+            value = ops.wasserstein_distance(
+                compressor.compress(a), compressor.compress(b), order=2
+            )
+            errors[block] = abs(value - exact)
+        assert errors[(2, 2, 2)] <= errors[(8, 8, 8)] + 1e-12
+
+
+class TestTable1Experiment:
+    def test_experiment_classification_holds(self):
+        result = table1_operations.run()
+        rows = {row[0]: row for row in result.rows}
+        # exact operations: tiny additional error
+        assert rows["negation"][3] == 0.0
+        assert rows["multiplication by scalar"][3] < 1e-12
+        for name in ("dot product", "mean", "covariance", "variance", "L2 norm",
+                     "cosine similarity", "SSIM"):
+            assert rows[name][3] < 1e-6, name
+        # rebinning operations: bounded by the reported rebinning budget
+        budget = result.metadata["rebinning_half_bin_bound"] * 64
+        assert rows["element-wise addition"][3] <= budget
+        assert rows["addition of scalar"][3] <= budget * 3

@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) for the core data structures and pipeline invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.core import CompressionSettings, Compressor
+from repro.core.binning import bin_coefficients, index_radius, unbin_indices
+from repro.core.blocking import block_array, crop_to_shape, unblock_array
+from repro.core.pruning import flatten_kept, top_k_mask, unflatten_kept
+from repro.core.transforms import Transform
+
+# ---------------------------------------------------------------------------- strategies
+
+block_extents = st.sampled_from([1, 2, 4, 8])
+
+
+@st.composite
+def array_and_block(draw, max_ndim: int = 3, max_extent: int = 12):
+    """A random float array together with a valid block shape of matching rank."""
+    ndim = draw(st.integers(1, max_ndim))
+    shape = tuple(draw(st.integers(1, max_extent)) for _ in range(ndim))
+    block = tuple(draw(block_extents) for _ in range(ndim))
+    elements = st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+    )
+    flat = draw(
+        st.lists(elements, min_size=int(np.prod(shape)), max_size=int(np.prod(shape)))
+    )
+    return np.array(flat).reshape(shape), block
+
+
+@st.composite
+def blocked_coefficients(draw):
+    """Random blocked coefficient array (n_blocks, block...) for binning tests."""
+    n_blocks = draw(st.integers(1, 6))
+    block = tuple(draw(block_extents) for _ in range(draw(st.integers(1, 2))))
+    size = n_blocks * int(np.prod(block))
+    elements = st.floats(min_value=-1e8, max_value=1e8, allow_nan=False, allow_infinity=False)
+    flat = draw(st.lists(elements, min_size=size, max_size=size))
+    return np.array(flat).reshape((n_blocks,) + block), block
+
+
+# ---------------------------------------------------------------------------- blocking
+
+
+class TestBlockingProperties:
+    @given(data=array_and_block())
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_block_unblock_roundtrip(self, data):
+        array, block = data
+        restored = crop_to_shape(unblock_array(block_array(array, block), block), array.shape)
+        assert np.array_equal(restored, array)
+
+    @given(data=array_and_block())
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_blocking_preserves_sum_and_norm(self, data):
+        array, block = data
+        blocked = block_array(array, block)
+        assert np.isclose(blocked.sum(), array.sum(), rtol=1e-9, atol=1e-6)
+        assert np.isclose(np.linalg.norm(blocked), np.linalg.norm(array), rtol=1e-12, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------- transforms
+
+
+class TestTransformProperties:
+    @given(
+        name=st.sampled_from(["dct", "haar", "identity"]),
+        block=st.tuples(block_extents, block_extents),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_orthonormal_invariants(self, name, block, seed):
+        rng = np.random.default_rng(seed)
+        transform = Transform(name, block)
+        blocks = rng.standard_normal((3,) + block)
+        coefficients = transform.forward(blocks)
+        # norm preservation and exact invertibility
+        assert np.isclose(np.linalg.norm(coefficients), np.linalg.norm(blocks), rtol=1e-10)
+        assert np.allclose(transform.inverse(coefficients), blocks, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------- binning
+
+
+class TestBinningProperties:
+    @given(data=blocked_coefficients(), dtype=st.sampled_from(["int8", "int16", "int32"]))
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_unbin_error_within_half_step(self, data, dtype):
+        coefficients, block = data
+        block_ndim = len(block)
+        maxima, indices = bin_coefficients(coefficients, block_ndim, np.dtype(dtype))
+        restored = unbin_indices(indices, maxima, block_ndim)
+        radius = index_radius(np.dtype(dtype))
+        bound = maxima.reshape(maxima.shape + (1,) * block_ndim) / (2 * radius)
+        assert np.all(np.abs(restored - coefficients) <= bound * (1 + 1e-9) + 1e-300)
+
+    @given(data=blocked_coefficients())
+    @hyp_settings(max_examples=30, deadline=None)
+    def test_indices_bounded_by_radius(self, data):
+        coefficients, block = data
+        maxima, indices = bin_coefficients(coefficients, len(block), np.dtype(np.int8))
+        assert indices.min() >= -127 and indices.max() <= 127
+
+
+# ---------------------------------------------------------------------------- pruning
+
+
+class TestPruningProperties:
+    @given(
+        grid=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+        block=st.tuples(block_extents, block_extents),
+        k=st.integers(1, 64),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_flatten_unflatten_partial_identity(self, grid, block, k, seed):
+        rng = np.random.default_rng(seed)
+        blocked = rng.standard_normal(grid + block)
+        mask = top_k_mask(block, k)
+        flat = flatten_kept(blocked, mask)
+        restored = unflatten_kept(flat, mask, grid)
+        assert np.array_equal(restored[..., mask], blocked[..., mask])
+        assert np.all(restored[..., ~mask] == 0)
+        assert flat.shape == (int(np.prod(grid)), int(mask.sum()))
+
+
+# ---------------------------------------------------------------------------- full pipeline
+
+
+class TestCompressorProperties:
+    @given(
+        data=array_and_block(max_ndim=2, max_extent=20),
+        index_dtype=st.sampled_from(["int8", "int16"]),
+    )
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_roundtrip_error_within_linf_budget(self, data, index_dtype):
+        array, block = data
+        settings = CompressionSettings(block_shape=block, float_format="float64",
+                                       index_dtype=index_dtype)
+        compressor = Compressor(settings)
+        compressed = compressor.compress(array)
+        decompressed = compressor.decompress(compressed)
+        assert decompressed.shape == array.shape
+        # §IV-D loose bound: per-block max error <= ||C||_inf * block size (plus a hair
+        # of floating-point rounding)
+        from repro.core.blocking import pad_to_blocks
+
+        padded = pad_to_blocks(array, block)
+        padded_dec = pad_to_blocks(decompressed, block)
+        error_blocks = block_array(np.abs(padded_dec - padded), block)
+        axes = tuple(range(error_blocks.ndim - len(block), error_blocks.ndim))
+        per_block = error_blocks.max(axis=axes)
+        bound = np.abs(compressed.maxima) * settings.block_size + 1e-6
+        assert np.all(per_block <= bound * (1 + 1e-6))
+
+    @given(data=array_and_block(max_ndim=2, max_extent=16), scalar=st.floats(-100, 100))
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_scalar_multiplication_commutes_with_decompression(self, data, scalar):
+        from repro.core import ops
+
+        array, block = data
+        settings = CompressionSettings(block_shape=block, float_format="float64",
+                                       index_dtype="int16")
+        compressor = Compressor(settings)
+        compressed = compressor.compress(array)
+        left = compressor.decompress(ops.multiply_scalar(compressed, scalar))
+        right = scalar * compressor.decompress(compressed)
+        # exact up to floating-point rounding, whose absolute size scales with the data
+        scale = 1.0 + float(np.abs(right).max())
+        assert np.allclose(left, right, rtol=1e-9, atol=1e-12 * scale)
+
+    @given(data=array_and_block(max_ndim=2, max_extent=16))
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_negation_involution(self, data):
+        from repro.core import ops
+
+        array, block = data
+        settings = CompressionSettings(block_shape=block, float_format="float32",
+                                       index_dtype="int8")
+        compressed = Compressor(settings).compress(array)
+        assert ops.negate(ops.negate(compressed)).allclose(compressed)

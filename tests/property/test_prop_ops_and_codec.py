@@ -1,0 +1,140 @@
+"""Property-based tests for compressed-space operations, the codec, and baselines."""
+
+import numpy as np
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.baselines import SZCompressor, ZFPCompressor
+from repro.core import CompressionSettings, Compressor, ops
+from repro.core.codec import deserialize, serialize
+from repro.numerics import round_to_format, ulp
+
+
+@st.composite
+def small_field_pair(draw):
+    """Two equal-shaped smooth-ish 2-D arrays plus compression settings.
+
+    Shapes are multiples of 8 so they divide every candidate block shape: the
+    padded and cropped domains coincide and the "no additional error" identities
+    hold exactly (DESIGN.md §5).
+    """
+    rows = 8 * draw(st.integers(1, 3))
+    cols = 8 * draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal((rows, cols))
+    a = np.cumsum(np.cumsum(base, axis=0), axis=1) * 0.01
+    b = a[::-1, ::-1].copy() + rng.standard_normal((rows, cols)) * 0.05
+    index_dtype = draw(st.sampled_from(["int8", "int16"]))
+    block = draw(st.sampled_from([(2, 2), (4, 4), (4, 8)]))
+    settings = CompressionSettings(block_shape=block, float_format="float64",
+                                   index_dtype=index_dtype)
+    return a, b, settings
+
+
+class TestOperationAlgebraProperties:
+    @given(data=small_field_pair())
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_dot_consistency_and_symmetry(self, data):
+        a, b, settings = data
+        compressor = Compressor(settings)
+        ca, cb = compressor.compress(a), compressor.compress(b)
+        da, db = compressor.decompress(ca), compressor.decompress(cb)
+        assert np.isclose(ops.dot(ca, cb), np.vdot(da, db), rtol=1e-8, atol=1e-8)
+        assert np.isclose(ops.dot(ca, cb), ops.dot(cb, ca), rtol=1e-12)
+        assert ops.dot(ca, ca) >= -1e-12
+
+    @given(data=small_field_pair())
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_variance_and_covariance_identities(self, data):
+        a, b, settings = data
+        compressor = Compressor(settings)
+        ca, cb = compressor.compress(a), compressor.compress(b)
+        var_a, var_b = ops.variance(ca), ops.variance(cb)
+        cov = ops.covariance(ca, cb)
+        assert var_a >= -1e-12 and var_b >= -1e-12
+        assert cov * cov <= var_a * var_b * (1 + 1e-6) + 1e-12
+        assert np.isclose(ops.covariance(ca, ca), var_a, rtol=1e-9, atol=1e-12)
+
+    @given(data=small_field_pair(), scalar=st.floats(-50, 50))
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_linearity_of_mean(self, data, scalar):
+        a, _, settings = data
+        compressor = Compressor(settings)
+        ca = compressor.compress(a)
+        scaled_mean = ops.mean(ops.multiply_scalar(ca, scalar))
+        assert np.isclose(scaled_mean, scalar * ops.mean(ca), rtol=1e-9, atol=1e-9)
+
+    @given(data=small_field_pair())
+    @hyp_settings(max_examples=20, deadline=None)
+    def test_wasserstein_metric_axioms(self, data):
+        a, b, settings = data
+        compressor = Compressor(settings)
+        ca, cb = compressor.compress(a), compressor.compress(b)
+        d_ab = ops.wasserstein_distance(ca, cb, order=2)
+        d_ba = ops.wasserstein_distance(cb, ca, order=2)
+        assert d_ab >= 0
+        assert np.isclose(d_ab, d_ba, rtol=1e-9, atol=1e-12)
+        assert ops.wasserstein_distance(ca, ca, order=2) <= 1e-12
+
+
+class TestCodecProperties:
+    @given(data=small_field_pair())
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_serialize_deserialize_identity(self, data):
+        a, _, settings = data
+        compressed = Compressor(settings).compress(a)
+        restored = deserialize(serialize(compressed))
+        assert restored.shape == compressed.shape
+        assert np.array_equal(restored.indices, compressed.indices)
+        assert np.allclose(restored.maxima, compressed.maxima, rtol=1e-12)
+
+    @given(data=small_field_pair())
+    @hyp_settings(max_examples=15, deadline=None)
+    def test_stream_length_is_data_independent(self, data):
+        a, b, settings = data
+        compressor = Compressor(settings)
+        assert len(serialize(compressor.compress(a))) == len(serialize(compressor.compress(b)))
+
+
+class TestNumericsProperties:
+    @given(
+        values=st.lists(st.floats(-1e30, 1e30, allow_nan=False, allow_infinity=False),
+                        min_size=1, max_size=64),
+        fmt=st.sampled_from(["bfloat16", "float16", "float32"]),
+    )
+    @hyp_settings(max_examples=50, deadline=None)
+    def test_rounding_is_idempotent_and_half_ulp(self, values, fmt):
+        array = np.array(values)
+        once = round_to_format(array, fmt)
+        twice = round_to_format(once, fmt)
+        finite = np.isfinite(once)
+        assert np.array_equal(once[finite], twice[finite])
+        spacing = ulp(array, fmt)
+        ok = finite & np.isfinite(spacing)
+        assert np.all(np.abs(once[ok] - array[ok]) <= 0.5 * spacing[ok] * (1 + 1e-12))
+
+
+class TestBaselineProperties:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        rows=st.integers(4, 24),
+        bound=st.sampled_from([1e-1, 1e-2, 1e-3]),
+    )
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_sz_error_bound_always_respected(self, seed, rows, bound):
+        rng = np.random.default_rng(seed)
+        array = np.cumsum(rng.standard_normal(rows * 8)) * 0.1
+        codec = SZCompressor(bound, levels=4)
+        restored = codec.decompress(codec.compress(array))
+        assert np.abs(restored - array).max() <= bound * (1 + 1e-9)
+
+    @given(seed=st.integers(0, 2**31 - 1), bits=st.sampled_from([16, 32]))
+    @hyp_settings(max_examples=20, deadline=None)
+    def test_zfp_roundtrip_bounded_relative_to_block_magnitude(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        array = rng.standard_normal((12, 12)) * 10
+        codec = ZFPCompressor(bits)
+        restored = codec.decompress(codec.compress(array))
+        scale = np.abs(array).max() + 1e-12
+        tolerance = {16: 2e-2, 32: 1e-6}[bits]
+        assert np.abs(restored - array).max() <= scale * tolerance * 4

@@ -1,0 +1,87 @@
+"""Unit tests for the automatic settings tuner (§VI future-work feature)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionSettings, Compressor, candidate_space, tune_settings
+from repro.core.autotune import TuningResult
+from tests.conftest import smooth_field
+
+
+class TestCandidateSpace:
+    def test_dimensionality_and_count(self):
+        candidates = candidate_space(3, block_extents=(4, 8), index_dtypes=("int8", "int16"),
+                                     float_formats=("float32",), keep_fractions=(1.0, 0.5))
+        assert len(candidates) == 2 * 2 * 1 * 2
+        assert all(c.ndim == 3 for c in candidates)
+
+    def test_pruned_candidates_present(self):
+        candidates = candidate_space(2, keep_fractions=(1.0, 0.5))
+        assert any(c.kept_per_block < c.block_size for c in candidates)
+
+
+class TestTuneSettings:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return smooth_field((32, 32), seed=10)
+
+    def test_returns_settings_meeting_target(self, data):
+        result = tune_settings(data, target_linf=1e-3)
+        assert isinstance(result, TuningResult)
+        assert result.best is not None
+        error = np.abs(Compressor(result.best).roundtrip(data) - data).max()
+        assert error <= 1e-3
+
+    def test_tighter_target_gives_lower_or_equal_ratio(self, data):
+        from repro.core.codec import compression_ratio
+
+        loose = tune_settings(data, target_linf=1e-1)
+        tight = tune_settings(data, target_linf=1e-6)
+        assert loose.best is not None and tight.best is not None
+        assert compression_ratio(loose.best, data.shape) >= compression_ratio(
+            tight.best, data.shape
+        )
+
+    def test_best_is_highest_ratio_among_evaluated_feasible(self, data):
+        result = tune_settings(data, target_linf=1e-3)
+        feasible = [c for c in result.evaluated if c.meets_target]
+        assert feasible
+        best_ratio = max(c.ratio for c in feasible)
+        chosen = result.best_candidate
+        assert chosen is not None and chosen.ratio == best_ratio
+        assert result.best == chosen.settings
+
+    def test_impossible_target_returns_none(self, data):
+        # far below float32 representability of the data scale for any candidate
+        candidates = candidate_space(2, block_extents=(16,), index_dtypes=("int8",),
+                                     float_formats=("float32",), keep_fractions=(0.5,))
+        result = tune_settings(data, target_linf=1e-12, candidates=candidates)
+        assert result.best is None
+
+    def test_custom_candidates_respected(self, data):
+        only = CompressionSettings(block_shape=(4, 4), float_format="float64",
+                                   index_dtype="int32")
+        result = tune_settings(data, target_linf=1e-6, candidates=[only])
+        assert result.best == only
+
+    def test_dimensionality_mismatch_rejected(self, data):
+        with pytest.raises(ValueError):
+            tune_settings(data, 1e-3, candidates=candidate_space(3))
+
+    def test_invalid_target_rejected(self, data):
+        with pytest.raises(ValueError):
+            tune_settings(data, 0.0)
+        with pytest.raises(ValueError):
+            tune_settings(data, np.inf)
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(ValueError):
+            tune_settings(np.empty((0, 4)), 1e-3)
+
+    def test_sampling_large_array(self):
+        big = smooth_field((64, 64, 64), seed=3)
+        result = tune_settings(big, target_linf=1e-2, sample_limit=4096)
+        assert result.best is not None
+        # the guarantee is empirical on the sample; on smooth data it extends to the whole
+        error = np.abs(Compressor(result.best).roundtrip(big) - big).max()
+        assert error <= 1e-2 * 5

@@ -1,0 +1,93 @@
+"""Unit tests for the Blaz baseline compressor."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BlazCompressor
+from tests.conftest import smooth_field
+
+
+@pytest.fixture(scope="module")
+def blaz() -> BlazCompressor:
+    return BlazCompressor()
+
+
+class TestBlazRoundTrip:
+    def test_roundtrip_error_small_on_smooth_data(self, blaz):
+        array = smooth_field((32, 40), seed=1)
+        restored = blaz.decompress(blaz.compress(array))
+        assert restored.shape == array.shape
+        # Blaz keeps 28 of 64 coefficients at 8 bits per block, so a few-percent
+        # error relative to the ~4.3 data range is its expected operating point
+        assert np.abs(restored - array).max() < 0.25
+        assert np.abs(restored - array).mean() < 0.08
+
+    def test_roundtrip_non_multiple_of_block(self, blaz):
+        array = smooth_field((19, 27), seed=2)
+        restored = blaz.decompress(blaz.compress(array))
+        assert restored.shape == (19, 27)
+
+    def test_first_elements_stored_exactly(self, blaz):
+        array = smooth_field((16, 16), seed=3)
+        compressed = blaz.compress(array)
+        assert compressed.firsts[0, 0] == array[0, 0]
+        assert compressed.firsts[1, 1] == array[8, 8]
+
+    def test_constant_array_roundtrips_exactly(self, blaz):
+        array = np.full((16, 16), 4.5)
+        restored = blaz.decompress(blaz.compress(array))
+        assert np.allclose(restored, array, atol=1e-12)
+
+    def test_compressed_structure(self, blaz):
+        array = smooth_field((24, 32), seed=4)
+        compressed = blaz.compress(array)
+        assert compressed.grid_shape == (3, 4)
+        assert compressed.indices.shape == (12, 28)  # 64 - 6*6 = 28 kept per block
+        assert compressed.indices.dtype == np.int8
+        assert compressed.size_bytes() == 8 * 12 + 8 * 12 + 12 * 28
+
+    def test_rejects_non_2d(self, blaz, rng):
+        with pytest.raises(ValueError):
+            blaz.compress(rng.random((4, 4, 4)))
+        with pytest.raises(ValueError):
+            blaz.compress(np.empty((0, 4)))
+
+    def test_compression_is_lossy_on_rough_data(self, blaz, rng):
+        array = rng.random((16, 16))
+        restored = blaz.decompress(blaz.compress(array))
+        assert not np.allclose(restored, array)
+
+
+class TestBlazCompressedOps:
+    def test_add_close_to_true_sum(self, blaz):
+        a = smooth_field((32, 32), seed=5)
+        b = smooth_field((32, 32), seed=6)
+        total = blaz.decompress(blaz.add(blaz.compress(a), blaz.compress(b)))
+        roundtrip_bound = (
+            np.abs(blaz.decompress(blaz.compress(a)) - a).max()
+            + np.abs(blaz.decompress(blaz.compress(b)) - b).max()
+        )
+        assert np.abs(total - (a + b)).max() < max(3 * roundtrip_bound, 0.5)
+
+    def test_add_shape_mismatch_rejected(self, blaz):
+        a = blaz.compress(smooth_field((16, 16), seed=1))
+        b = blaz.compress(smooth_field((24, 16), seed=1))
+        with pytest.raises(ValueError):
+            blaz.add(a, b)
+
+    def test_multiply_scalar_exact_on_decompressed(self, blaz):
+        array = smooth_field((16, 24), seed=7)
+        compressed = blaz.compress(array)
+        decompressed = blaz.decompress(compressed)
+        scaled = blaz.decompress(blaz.multiply_scalar(compressed, -2.0))
+        assert np.allclose(scaled, -2.0 * decompressed, atol=1e-9)
+
+    def test_multiply_by_zero(self, blaz):
+        compressed = blaz.compress(smooth_field((16, 16), seed=8))
+        zeroed = blaz.decompress(blaz.multiply_scalar(compressed, 0.0))
+        assert np.allclose(zeroed, 0.0, atol=1e-12)
+
+    def test_multiply_non_finite_rejected(self, blaz):
+        compressed = blaz.compress(smooth_field((16, 16), seed=9))
+        with pytest.raises(ValueError):
+            blaz.multiply_scalar(compressed, np.nan)

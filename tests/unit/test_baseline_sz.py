@@ -1,0 +1,119 @@
+"""Unit tests for the SZ-like error-bounded compressor and the Huffman substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SZCompressor, huffman_decode, huffman_encode
+from repro.baselines.huffman import code_lengths
+from tests.conftest import smooth_field
+
+
+class TestHuffman:
+    def test_roundtrip_random_symbols(self, rng):
+        values = rng.integers(-50, 50, size=3000)
+        assert np.array_equal(huffman_decode(huffman_encode(values)), values)
+
+    def test_roundtrip_single_symbol(self):
+        values = np.full(100, 7, dtype=np.int64)
+        code = huffman_encode(values)
+        assert np.array_equal(huffman_decode(code), values)
+
+    def test_roundtrip_two_symbols(self):
+        values = np.array([0, 1, 0, 0, 1, 1, 0], dtype=np.int64)
+        assert np.array_equal(huffman_decode(huffman_encode(values)), values)
+
+    def test_empty_input(self):
+        code = huffman_encode(np.array([], dtype=np.int64))
+        assert code.count == 0
+        assert huffman_decode(code).size == 0
+
+    def test_skewed_distribution_compresses_below_fixed_width(self, rng):
+        # overwhelmingly one symbol: entropy << 8 bits/symbol
+        values = np.where(rng.random(5000) < 0.95, 0, rng.integers(1, 64, 5000)).astype(np.int64)
+        code = huffman_encode(values)
+        assert code.bit_length < 0.5 * 8 * values.size
+        assert np.array_equal(huffman_decode(code), values)
+
+    def test_code_lengths_follow_frequencies(self):
+        symbols = np.array([0, 1, 2])
+        counts = np.array([100, 10, 1])
+        lengths = code_lengths(symbols, counts)
+        assert lengths[0] <= lengths[1] <= lengths[2]
+
+    def test_rejects_float_input(self, rng):
+        with pytest.raises(ValueError):
+            huffman_encode(rng.random(10))
+
+    def test_size_accounting(self, rng):
+        values = rng.integers(0, 4, 1000)
+        code = huffman_encode(values)
+        assert code.size_bytes() >= len(code.payload)
+
+
+class TestSZCompressor:
+    @pytest.mark.parametrize("error_bound", [1e-1, 1e-2, 1e-3, 1e-4])
+    def test_error_bound_respected(self, rng, error_bound):
+        array = np.cumsum(rng.standard_normal(4000)) * 0.05
+        codec = SZCompressor(error_bound)
+        restored = codec.decompress(codec.compress(array))
+        assert np.abs(restored - array).max() <= error_bound * (1 + 1e-9)
+
+    def test_error_bound_respected_multidim(self, rng):
+        array = smooth_field((24, 24, 12), seed=3)
+        codec = SZCompressor(1e-3)
+        restored = codec.decompress(codec.compress(array))
+        assert restored.shape == array.shape
+        assert np.abs(restored - array).max() <= 1e-3 * (1 + 1e-9)
+
+    def test_smooth_data_compresses_well(self):
+        array = smooth_field((64, 64), seed=4, noise=0.0)
+        codec = SZCompressor(1e-3)
+        compressed = codec.compress(array)
+        assert compressed.compression_ratio() > 5.0
+
+    def test_looser_bound_better_ratio(self):
+        array = smooth_field((64, 64), seed=5)
+        tight = SZCompressor(1e-5).compress(array)
+        loose = SZCompressor(1e-2).compress(array)
+        assert loose.compression_ratio() > tight.compression_ratio()
+
+    def test_rough_data_uses_outliers_but_stays_bounded(self, rng):
+        array = rng.standard_normal(2000) * 1000
+        codec = SZCompressor(1e-6, levels=4)
+        compressed = codec.compress(array)
+        restored = codec.decompress(compressed)
+        assert np.abs(restored - array).max() <= 1e-6 * (1 + 1e-6) + 1e-12
+        # huge residuals vs the tiny bound are stored exactly as outliers
+        assert compressed.outliers.size > 0
+
+    def test_single_element(self):
+        codec = SZCompressor(1e-3)
+        array = np.array([42.0])
+        assert np.allclose(codec.decompress(codec.compress(array)), array)
+
+    def test_anchor_values_exact(self, rng):
+        array = rng.standard_normal(1025)
+        codec = SZCompressor(1e-2, levels=3)
+        restored = codec.decompress(codec.compress(array))
+        stride = 2**3
+        assert np.array_equal(restored[::stride][: array[::stride].size], array[::stride])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SZCompressor(0.0)
+        with pytest.raises(ValueError):
+            SZCompressor(-1.0)
+        with pytest.raises(ValueError):
+            SZCompressor(1e-3, levels=0)
+
+    def test_rejects_non_finite_and_empty(self):
+        codec = SZCompressor(1e-3)
+        with pytest.raises(ValueError):
+            codec.compress(np.array([1.0, np.nan]))
+        with pytest.raises(ValueError):
+            codec.compress(np.array([]))
+
+    def test_size_accounting_positive(self, rng):
+        compressed = SZCompressor(1e-3).compress(rng.random(500))
+        assert compressed.size_bytes() > 0
+        assert 0 < compressed.compression_ratio() < 100

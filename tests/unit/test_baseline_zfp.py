@@ -1,0 +1,104 @@
+"""Unit tests for the fixed-rate ZFP-like codec."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ZFPCompressor
+from repro.simulators import gradient_array
+from tests.conftest import smooth_field
+
+
+class TestZFPRoundTrip:
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_roundtrip_shape_preserved(self, rng, ndim):
+        array = rng.random((12,) * ndim)
+        codec = ZFPCompressor(16)
+        restored = codec.decompress(codec.compress(array))
+        assert restored.shape == array.shape
+
+    @pytest.mark.parametrize("bits,tolerance", [(16, 2e-2), (32, 1e-5)])
+    def test_error_scales_with_rate(self, rng, bits, tolerance):
+        array = rng.random((20, 24)) * 4 - 2
+        codec = ZFPCompressor(bits)
+        restored = codec.decompress(codec.compress(array))
+        assert np.abs(restored - array).max() < tolerance * 4
+
+    def test_higher_rate_means_lower_error(self, rng):
+        array = rng.random((16, 16, 16)) * 10
+        errors = {}
+        for bits in (8, 16, 32):
+            codec = ZFPCompressor(bits)
+            errors[bits] = np.abs(codec.decompress(codec.compress(array)) - array).max()
+        assert errors[16] < errors[8]
+        assert errors[32] < errors[16]
+
+    def test_gradient_array_compresses_well(self):
+        # the §IV-E workload: smooth gradient data
+        array = gradient_array((32, 32))
+        codec = ZFPCompressor(16)
+        restored = codec.decompress(codec.compress(array))
+        assert np.abs(restored - array).max() < 1e-3
+
+    def test_zero_array_roundtrips_exactly(self):
+        codec = ZFPCompressor(8)
+        array = np.zeros((8, 8))
+        assert np.array_equal(codec.decompress(codec.compress(array)), array)
+
+    def test_non_multiple_of_four_shapes(self, rng):
+        array = rng.random((7, 9, 5))
+        codec = ZFPCompressor(16)
+        restored = codec.decompress(codec.compress(array))
+        assert restored.shape == (7, 9, 5)
+        assert np.abs(restored - array).max() < 0.1
+
+    def test_negative_values_handled(self, rng):
+        array = rng.standard_normal((16, 16)) * 100
+        codec = ZFPCompressor(32)
+        restored = codec.decompress(codec.compress(array))
+        assert np.allclose(restored, array, rtol=1e-5, atol=1e-4)
+
+
+class TestZFPRateAccounting:
+    def test_fixed_rate_size(self, rng):
+        array = rng.random((16, 16))
+        for bits in (8, 16, 32):
+            codec = ZFPCompressor(bits)
+            compressed = codec.compress(array)
+            # fixed-rate: stored bits per block is exponent + kept planes * block size,
+            # bounded by the budget bits_per_value * block_size
+            assert compressed.size_bits() <= bits * array.size + 16 * compressed.n_blocks
+            assert codec.compression_ratio(array.shape) == pytest.approx(64 / bits)
+
+    def test_size_independent_of_content(self, rng):
+        codec = ZFPCompressor(16)
+        a = codec.compress(rng.random((16, 16)))
+        b = codec.compress(rng.random((16, 16)) * 1000)
+        assert a.size_bits() == b.size_bits()
+
+    def test_compressed_metadata(self, rng):
+        codec = ZFPCompressor(16)
+        compressed = codec.compress(rng.random((8, 12)))
+        assert compressed.grid_shape == (2, 3)
+        assert compressed.n_blocks == 6
+        assert compressed.bits_per_value == 16
+        assert compressed.size_bytes() == (compressed.size_bits() + 7) // 8
+
+
+class TestZFPValidation:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ZFPCompressor(0)
+
+    def test_rejects_4d(self, rng):
+        with pytest.raises(ValueError):
+            ZFPCompressor(16).compress(rng.random((2, 2, 2, 2)))
+
+    def test_rejects_non_finite(self):
+        array = np.ones((4, 4))
+        array[0, 0] = np.inf
+        with pytest.raises(ValueError):
+            ZFPCompressor(16).compress(array)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ZFPCompressor(16).compress(np.empty((0,)))

@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.blocking."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import (
+    block_array,
+    blocked_shape,
+    crop_to_shape,
+    pad_to_blocks,
+    unblock_array,
+)
+
+
+class TestPadToBlocks:
+    def test_no_padding_when_multiple(self, rng):
+        array = rng.random((8, 12))
+        padded = pad_to_blocks(array, (4, 4))
+        assert padded.shape == (8, 12)
+        assert np.array_equal(padded, array)
+
+    def test_pads_up_to_multiple(self, rng):
+        array = rng.random((5, 7))
+        padded = pad_to_blocks(array, (4, 4))
+        assert padded.shape == (8, 8)
+
+    def test_padding_is_zero(self, rng):
+        array = rng.random((5, 7)) + 1.0
+        padded = pad_to_blocks(array, (4, 4))
+        assert np.all(padded[5:, :] == 0)
+        assert np.all(padded[:, 7:] == 0)
+
+    def test_original_region_unchanged(self, rng):
+        array = rng.random((5, 7))
+        padded = pad_to_blocks(array, (4, 4))
+        assert np.array_equal(padded[:5, :7], array)
+
+    def test_paper_example_shape(self):
+        # §III-A(b): (3, 224, 224) with block (4, 4, 4) -> blocked (1, 56, 56, 4, 4, 4)
+        array = np.zeros((3, 224, 224))
+        assert blocked_shape(array.shape, (4, 4, 4)) == (1, 56, 56, 4, 4, 4)
+
+    def test_dimension_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            pad_to_blocks(rng.random((4, 4)), (4, 4, 4))
+
+
+class TestBlockUnblockRoundTrip:
+    @pytest.mark.parametrize(
+        "shape,block",
+        [
+            ((16,), (4,)),
+            ((10,), (4,)),
+            ((8, 8), (4, 4)),
+            ((9, 13), (4, 8)),
+            ((6, 10, 14), (2, 4, 8)),
+            ((3, 224, 10), (4, 4, 4)),
+            ((5, 5, 5, 5), (2, 2, 2, 2)),
+        ],
+    )
+    def test_roundtrip_exact(self, rng, shape, block):
+        array = rng.random(shape)
+        blocked = block_array(array, block)
+        assert blocked.shape == blocked_shape(shape, block)
+        restored = crop_to_shape(unblock_array(blocked, block), shape)
+        assert np.array_equal(restored, array)
+
+    def test_block_contents_match_slices(self, rng):
+        array = rng.random((8, 8))
+        blocked = block_array(array, (4, 4))
+        assert np.array_equal(blocked[0, 0], array[:4, :4])
+        assert np.array_equal(blocked[1, 0], array[4:, :4])
+        assert np.array_equal(blocked[0, 1], array[:4, 4:])
+        assert np.array_equal(blocked[1, 1], array[4:, 4:])
+
+    def test_blocking_preserves_dtype_values(self):
+        array = np.arange(16, dtype=np.float32).reshape(4, 4)
+        blocked = block_array(array, (2, 2))
+        assert blocked.dtype == np.float32
+        assert blocked[0, 0, 0, 0] == 0 and blocked[1, 1, 1, 1] == 15
+
+    def test_unblock_rejects_wrong_rank(self, rng):
+        with pytest.raises(ValueError):
+            unblock_array(rng.random((2, 2, 4)), (4, 4))
+
+    def test_unblock_rejects_wrong_block_extents(self, rng):
+        with pytest.raises(ValueError):
+            unblock_array(rng.random((2, 2, 4, 8)), (4, 4))
+
+
+class TestCrop:
+    def test_crop_removes_high_end(self, rng):
+        array = rng.random((8, 8))
+        cropped = crop_to_shape(array, (5, 7))
+        assert cropped.shape == (5, 7)
+        assert np.array_equal(cropped, array[:5, :7])
+
+    def test_crop_to_same_shape_is_identity(self, rng):
+        array = rng.random((4, 4))
+        assert np.array_equal(crop_to_shape(array, (4, 4)), array)
+
+    def test_crop_larger_than_array_raises(self, rng):
+        with pytest.raises(ValueError):
+            crop_to_shape(rng.random((4, 4)), (6, 4))
+
+    def test_crop_rank_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            crop_to_shape(rng.random((4, 4)), (4, 4, 4))

@@ -1,0 +1,72 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from tests.conftest import smooth_field
+
+
+class TestParser:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["compress", "in.npy", "out.pblz", "--block", "4,4"])
+        assert args.command == "compress"
+        assert args.block == (4, 4)
+        args = parser.parse_args(["experiment", "table1"])
+        assert args.name == "table1"
+
+    def test_invalid_block_spec(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["compress", "a", "b", "--block", "four"])
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "fig99"])
+
+
+class TestCompressDecompressCommands:
+    def test_full_cycle(self, tmp_path, capsys):
+        array = smooth_field((20, 28), seed=3)
+        npy_in = tmp_path / "in.npy"
+        stream = tmp_path / "out.pblz"
+        npy_out = tmp_path / "back.npy"
+        np.save(npy_in, array)
+
+        assert main(["compress", str(npy_in), str(stream), "--block", "4,4",
+                     "--float", "float32", "--index", "int16"]) == 0
+        assert stream.exists()
+        out = capsys.readouterr().out
+        assert "settings:" in out and "ratio" in out
+
+        assert main(["info", str(stream)]) == 0
+        info_out = capsys.readouterr().out
+        assert "blocks:" in info_out and "compression ratio" in info_out
+
+        assert main(["decompress", str(stream), str(npy_out)]) == 0
+        restored = np.load(npy_out)
+        assert restored.shape == array.shape
+        assert np.abs(restored - array).max() < 1e-2
+
+    def test_block_dimensionality_mismatch_fails(self, tmp_path, capsys):
+        array = smooth_field((8, 8), seed=1)
+        npy_in = tmp_path / "in.npy"
+        np.save(npy_in, array)
+        code = main(["compress", str(npy_in), str(tmp_path / "o.pblz"), "--block", "4,4,4"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_table1_experiment_runs(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "negation" in out
+
+    def test_ratio_experiment_runs(self, capsys):
+        assert main(["experiment", "ratio"]) == 0
+        out = capsys.readouterr().out
+        assert "2.9" in out  # the paper's worked example appears in the metadata

@@ -1,0 +1,129 @@
+"""Unit tests for repro.core.codec: sizes, ratios, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionSettings, Compressor
+from repro.core.codec import (
+    asymptotic_compression_ratio,
+    compressed_size_bits,
+    compression_ratio,
+    deserialize,
+    load,
+    save,
+    serialize,
+    stored_component_bits,
+)
+from repro.core.pruning import low_frequency_mask
+from tests.conftest import smooth_field
+
+
+class TestAccounting:
+    def test_paper_example_int16_no_pruning(self):
+        # §IV-C: (3, 224, 224), block (4,4,4), FP32, int16, no pruning -> ≈ 2.91
+        settings = CompressionSettings(block_shape=(4, 4, 4), float_format="float32",
+                                       index_dtype="int16")
+        ratio = compression_ratio(settings, (3, 224, 224), input_bits_per_element=64)
+        assert ratio == pytest.approx(2.91, abs=0.01)
+
+    def test_paper_example_int8_half_pruned(self):
+        # §IV-C: int8 and half the indices pruned -> ≈ 10.66 (asymptotic)
+        settings = CompressionSettings(
+            block_shape=(4, 4, 4), float_format="float32", index_dtype="int8",
+            pruning_mask=low_frequency_mask((4, 4, 4), 0.5),
+        )
+        ratio = asymptotic_compression_ratio(settings, (3, 224, 224), input_bits_per_element=64)
+        assert ratio == pytest.approx(10.66, abs=0.01)
+
+    def test_component_bits_formulas(self):
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
+                                       index_dtype="int8")
+        bits = stored_component_bits(settings, (8, 8))
+        assert bits["type_tags"] == 4
+        assert bits["shape"] == 128 and bits["block_shape"] == 128
+        assert bits["shape_marker"] == 64
+        assert bits["pruning_mask"] == 16
+        assert bits["maxima"] == 32 * 4  # 4 blocks, FP32
+        assert bits["indices"] == 8 * 16 * 4  # int8 * 16 kept * 4 blocks
+        assert compressed_size_bits(settings, (8, 8)) == sum(bits.values())
+
+    def test_exact_ratio_approaches_asymptotic_for_large_arrays(self):
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
+                                       index_dtype="int16")
+        small = compression_ratio(settings, (16, 16))
+        large = compression_ratio(settings, (1024, 1024))
+        limit = asymptotic_compression_ratio(settings, (1024, 1024))
+        assert abs(large - limit) < abs(small - limit)
+        assert large == pytest.approx(limit, rel=1e-3)
+
+    def test_pruning_and_narrow_indices_increase_ratio(self):
+        base = CompressionSettings(block_shape=(4, 4, 4), float_format="float32",
+                                   index_dtype="int16")
+        narrower = base.with_(index_dtype="int8")
+        pruned = base.with_(pruning_mask=low_frequency_mask((4, 4, 4), 0.5))
+        shape = (64, 64, 64)
+        assert compression_ratio(narrower, shape) > compression_ratio(base, shape)
+        assert compression_ratio(pruned, shape) > compression_ratio(base, shape)
+
+    def test_ratio_independent_of_data(self, compressor_3d, field_3d, rng):
+        # §III: "the compression ratio depends only on compression settings"
+        settings = compressor_3d.settings
+        shape = field_3d.shape
+        assert compression_ratio(settings, shape) == compression_ratio(settings, shape)
+        # serialize two different arrays of the same shape: identical stream lengths
+        a = compressor_3d.compress(field_3d)
+        b = compressor_3d.compress(rng.random(shape))
+        assert len(serialize(a)) == len(serialize(b))
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("float_format", ["bfloat16", "float16", "float32", "float64"])
+    @pytest.mark.parametrize("index_dtype", ["int8", "int16", "int32"])
+    def test_roundtrip_preserves_everything(self, float_format, index_dtype):
+        settings = CompressionSettings(block_shape=(4, 4), float_format=float_format,
+                                       index_dtype=index_dtype)
+        compressor = Compressor(settings)
+        array = smooth_field((12, 20), seed=6)
+        compressed = compressor.compress(array)
+        restored = deserialize(serialize(compressed))
+        assert restored.shape == compressed.shape
+        assert restored.settings.float_format.name == float_format
+        assert restored.settings.index_dtype == np.dtype(index_dtype)
+        assert np.array_equal(restored.indices, compressed.indices)
+        assert np.allclose(restored.maxima, compressed.maxima, rtol=1e-6)
+        # decompression of the deserialized form matches byte-for-byte
+        assert np.allclose(
+            compressor.decompress(restored), compressor.decompress(compressed), atol=1e-12
+        )
+
+    def test_roundtrip_with_pruning_and_haar(self):
+        settings = CompressionSettings(
+            block_shape=(8, 8), float_format="float32", index_dtype="int8",
+            transform="haar", pruning_mask=low_frequency_mask((8, 8), 0.25),
+        )
+        compressor = Compressor(settings)
+        compressed = compressor.compress(smooth_field((24, 24), seed=7))
+        restored = deserialize(serialize(compressed))
+        assert restored.settings.transform == "haar"
+        assert np.array_equal(restored.settings.mask, settings.mask)
+        assert restored.allclose(compressed, rtol=1e-6)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize(b"NOPE" + b"\x00" * 64)
+
+    def test_save_load_file(self, tmp_path, compressor_2d, field_2d):
+        compressed = compressor_2d.compress(field_2d)
+        path = tmp_path / "array.pblz"
+        save(compressed, path)
+        assert path.exists() and path.stat().st_size == len(serialize(compressed))
+        loaded = load(path)
+        assert loaded.allclose(compressed)
+
+    def test_stream_size_tracks_accounting(self, compressor_2d, field_2d):
+        # the byte stream should be within a small overhead of the accounting size
+        compressed = compressor_2d.compress(field_2d)
+        accounted_bytes = compressed_size_bits(compressor_2d.settings, field_2d.shape) / 8
+        actual = len(serialize(compressed))
+        assert actual <= accounted_bytes * 1.1 + 64
+        assert actual >= accounted_bytes * 0.5

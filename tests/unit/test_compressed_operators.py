@@ -1,0 +1,65 @@
+"""Unit tests for the arithmetic operators on CompressedArray."""
+
+import numpy as np
+import pytest
+
+from repro.core import ops
+from tests.conftest import smooth_field
+
+
+@pytest.fixture
+def pair(compressor_3d, field_3d):
+    other = smooth_field(field_3d.shape, seed=71)
+    return field_3d, other, compressor_3d.compress(field_3d), compressor_3d.compress(other)
+
+
+class TestOperators:
+    def test_negation_operator(self, pair):
+        _, _, ca, _ = pair
+        assert (-ca).allclose(ops.negate(ca))
+
+    def test_addition_operator(self, pair):
+        _, _, ca, cb = pair
+        assert (ca + cb).allclose(ops.add(ca, cb))
+
+    def test_subtraction_operator(self, pair):
+        _, _, ca, cb = pair
+        assert (ca - cb).allclose(ops.subtract(ca, cb))
+
+    def test_scalar_addition_both_sides(self, pair):
+        _, _, ca, _ = pair
+        assert (ca + 2.0).allclose(ops.add_scalar(ca, 2.0))
+        assert (2.0 + ca).allclose(ops.add_scalar(ca, 2.0))
+        assert (ca - 2.0).allclose(ops.add_scalar(ca, -2.0))
+
+    def test_reflected_scalar_subtraction(self, compressor_3d, pair):
+        a, _, ca, _ = pair
+        result = compressor_3d.decompress(3.0 - ca)
+        assert np.abs(result - (3.0 - a)).max() < 0.05
+
+    def test_scalar_multiplication_both_sides(self, pair):
+        _, _, ca, _ = pair
+        assert (ca * -2.5).allclose(ops.multiply_scalar(ca, -2.5))
+        assert (-2.5 * ca).allclose(ops.multiply_scalar(ca, -2.5))
+
+    def test_scalar_division(self, pair):
+        _, _, ca, _ = pair
+        assert (ca / 4.0).allclose(ops.multiply_scalar(ca, 0.25))
+
+    def test_division_by_zero_raises(self, pair):
+        _, _, ca, _ = pair
+        with pytest.raises(ZeroDivisionError):
+            ca / 0.0
+
+    def test_unsupported_operand_types(self, pair, field_3d):
+        _, _, ca, _ = pair
+        with pytest.raises(TypeError):
+            ca + "nope"
+        with pytest.raises(TypeError):
+            ca * ca  # element-wise product is not a supported compressed-space op
+
+    def test_expression_chain_matches_uncompressed(self, compressor_3d, pair):
+        a, b, ca, cb = pair
+        result = compressor_3d.decompress((ca + cb) * 0.5 - ca / 2.0)
+        expected = (a + b) * 0.5 - a / 2.0
+        assert np.abs(result - expected).max() < 0.05

@@ -1,0 +1,109 @@
+"""Unit tests for the §IV-D error bounds in repro.core.errors."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionSettings, Compressor
+from repro.core.blocking import block_array
+from repro.core.errors import (
+    binning_error_bound,
+    block_l2_error,
+    coefficient_errors,
+    linf_error_bound,
+    pruning_error,
+)
+from repro.core.pruning import low_frequency_mask
+from repro.numerics import round_to_format
+from tests.conftest import smooth_field
+
+
+class TestBinningBound:
+    @pytest.mark.parametrize("dtype,expected", [("int8", 255), ("int16", 65535)])
+    def test_paper_bound_formula(self, dtype, expected):
+        bound = binning_error_bound(np.array([1.0, 2.0]), np.dtype(dtype))
+        assert np.allclose(bound, np.array([1.0, 2.0]) / expected)
+
+    def test_exact_bound_is_slightly_larger(self):
+        paper = binning_error_bound(np.array([1.0]), np.dtype(np.int8))
+        exact = binning_error_bound(np.array([1.0]), np.dtype(np.int8), exact=True)
+        assert exact > paper
+        assert exact == pytest.approx(1.0 / 254)
+
+    @pytest.mark.parametrize("index_dtype", ["int8", "int16"])
+    def test_actual_coefficient_error_within_exact_bound(self, rng, index_dtype):
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float64",
+                                       index_dtype=index_dtype)
+        compressor = Compressor(settings)
+        array = rng.standard_normal((16, 16))
+        compressed = compressor.compress(array)
+        errors = np.abs(coefficient_errors(compressed, array))
+        bound = binning_error_bound(compressed.maxima, settings.index_dtype, exact=True)
+        assert np.all(errors <= bound.reshape(bound.shape + (1, 1)) * (1 + 1e-9))
+
+
+class TestPruningError:
+    def test_zero_when_nothing_pruned(self, rng):
+        settings = CompressionSettings(block_shape=(4, 4))
+        coefficients = rng.standard_normal((2, 2, 4, 4))
+        assert np.all(pruning_error(coefficients, settings) == 0)
+
+    def test_equals_dropped_coefficients(self, rng):
+        mask = low_frequency_mask((4, 4), 0.5)
+        settings = CompressionSettings(block_shape=(4, 4), pruning_mask=mask)
+        coefficients = rng.standard_normal((3, 4, 4))
+        error = pruning_error(coefficients, settings)
+        assert np.array_equal(error[..., mask], np.zeros_like(error[..., mask]))
+        assert np.array_equal(error[..., ~mask], np.abs(coefficients[..., ~mask]))
+
+    def test_shape_mismatch_rejected(self, rng):
+        settings = CompressionSettings(block_shape=(4, 4))
+        with pytest.raises(ValueError):
+            pruning_error(rng.standard_normal((3, 2, 2)), settings)
+
+
+class TestDecompressedSpaceBounds:
+    def test_linf_bound_holds(self, rng):
+        settings = CompressionSettings(
+            block_shape=(4, 4), float_format="float64", index_dtype="int8",
+            pruning_mask=low_frequency_mask((4, 4), 0.5),
+        )
+        compressor = Compressor(settings)
+        array = rng.standard_normal((32, 32))
+        compressed = compressor.compress(array)
+        decompressed = compressor.decompress(compressed)
+        lowered = round_to_format(array, settings.float_format)
+        elementwise = np.abs(decompressed - lowered)
+        per_block = block_array(elementwise, (4, 4)).max(axis=(-1, -2))
+        bound = linf_error_bound(compressed)
+        assert np.all(per_block <= bound * (1 + 1e-9))
+
+    def test_block_l2_identity(self, rng):
+        # orthonormality: block L2 error equals the L2 norm of coefficient errors
+        settings = CompressionSettings(block_shape=(4, 4, 4), float_format="float64",
+                                       index_dtype="int8")
+        compressor = Compressor(settings)
+        array = smooth_field((8, 8, 8), seed=12)
+        compressed = compressor.compress(array)
+        decompressed = compressor.decompress(compressed)
+        elementwise = decompressed - array
+        actual = np.sqrt((block_array(elementwise, (4, 4, 4)) ** 2).sum(axis=(-1, -2, -3)))
+        predicted = block_l2_error(compressed, array)
+        assert np.allclose(actual, predicted, rtol=1e-9, atol=1e-12)
+
+    def test_block_l2_identity_with_pruning(self, rng):
+        settings = CompressionSettings(
+            block_shape=(4, 4), float_format="float64", index_dtype="int16",
+            pruning_mask=low_frequency_mask((4, 4), 0.25),
+        )
+        compressor = Compressor(settings)
+        array = rng.standard_normal((16, 16))
+        compressed = compressor.compress(array)
+        decompressed = compressor.decompress(compressed)
+        actual = np.sqrt((block_array(decompressed - array, (4, 4)) ** 2).sum(axis=(-1, -2)))
+        predicted = block_l2_error(compressed, array)
+        assert np.allclose(actual, predicted, rtol=1e-9)
+
+    def test_coefficient_errors_shape_validation(self, compressor_2d, field_2d, rng):
+        compressed = compressor_2d.compress(field_2d)
+        with pytest.raises(ValueError):
+            coefficient_errors(compressed, rng.random((4, 4)))

@@ -1,0 +1,55 @@
+"""Unit tests for the experiment-harness infrastructure (repro.experiments.common)."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, Timer, format_table, median_time
+
+
+class TestTimerAndMedianTime:
+    def test_timer_measures_elapsed(self):
+        with Timer() as timer:
+            sum(range(10000))
+        assert timer.elapsed >= 0.0
+
+    def test_median_time_positive_and_repeatable(self):
+        calls = []
+        value = median_time(lambda: calls.append(1), repeats=3, warmup=2)
+        assert value >= 0.0
+        assert len(calls) == 5  # 2 warmup + 3 timed
+
+    def test_median_time_validates_repeats(self):
+        with pytest.raises(ValueError):
+            median_time(lambda: None, repeats=0)
+
+
+class TestFormatTable:
+    def test_columns_aligned_and_title_present(self):
+        text = format_table(("name", "value"), [("alpha", 1.0), ("b", 123456.789)],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5  # title, header, rule, 2 rows
+
+    def test_small_and_large_floats_use_scientific_notation(self):
+        text = format_table(("x",), [(1e-7,), (1e7,), (0.5,), (0,)])
+        assert "e-07" in text and "e+07" in text and "0.5" in text
+
+    def test_non_numeric_cells(self):
+        text = format_table(("a", "b"), [("yes", None), (True, (1, 2))])
+        assert "yes" in text and "None" in text and "(1, 2)" in text
+
+
+class TestExperimentResult:
+    def test_column_extraction(self):
+        result = ExperimentResult(name="t", columns=("a", "b"), rows=[(1, 2), (3, 4)])
+        assert result.column("a") == [1, 3]
+        assert result.column("b") == [2, 4]
+        with pytest.raises(ValueError):
+            result.column("missing")
+
+    def test_to_text_includes_metadata(self):
+        result = ExperimentResult(name="t", columns=("a",), rows=[(1,)],
+                                  metadata={"note": "hello"})
+        text = result.to_text()
+        assert "== t ==" in text and "note: hello" in text

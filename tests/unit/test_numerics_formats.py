@@ -1,0 +1,94 @@
+"""Unit tests for repro.numerics.formats."""
+
+import numpy as np
+import pytest
+
+from repro.numerics import (
+    BFLOAT16,
+    FLOAT16,
+    FLOAT32,
+    FLOAT64,
+    FORMATS_BY_NAME,
+    FloatFormat,
+    resolve_format,
+)
+
+
+class TestFormatParameters:
+    def test_bfloat16_parameters(self):
+        assert BFLOAT16.fraction_bits == 7
+        assert BFLOAT16.exponent_bits == 8
+        assert BFLOAT16.storage_bits == 16
+        assert BFLOAT16.precision_bits == 8
+
+    def test_float16_parameters(self):
+        assert FLOAT16.fraction_bits == 10
+        assert FLOAT16.exponent_bits == 5
+        assert FLOAT16.storage_bits == 16
+
+    def test_float32_parameters(self):
+        assert FLOAT32.fraction_bits == 23
+        assert FLOAT32.exponent_bits == 8
+        assert FLOAT32.storage_bits == 32
+
+    def test_float64_parameters(self):
+        assert FLOAT64.fraction_bits == 52
+        assert FLOAT64.exponent_bits == 11
+        assert FLOAT64.storage_bits == 64
+
+    @pytest.mark.parametrize("fmt,np_dtype", [(FLOAT16, np.float16), (FLOAT32, np.float32), (FLOAT64, np.float64)])
+    def test_native_formats_match_numpy_finfo(self, fmt: FloatFormat, np_dtype):
+        finfo = np.finfo(np_dtype)
+        assert fmt.machine_epsilon == pytest.approx(float(finfo.eps))
+        assert fmt.max_finite == pytest.approx(float(finfo.max))
+        assert fmt.smallest_normal == pytest.approx(float(finfo.smallest_normal))
+
+    def test_bfloat16_shares_float32_exponent_range(self):
+        # the paper's §V-B observation: bfloat16 avoids overflow NaN/Inf because of
+        # its longer exponent (same range as float32)
+        assert BFLOAT16.max_exponent == FLOAT32.max_exponent
+        assert BFLOAT16.min_exponent == FLOAT32.min_exponent
+        assert BFLOAT16.max_finite > FLOAT16.max_finite
+
+    def test_float16_more_precise_than_bfloat16(self):
+        assert FLOAT16.machine_epsilon < BFLOAT16.machine_epsilon
+
+    def test_exponent_bias(self):
+        assert FLOAT32.exponent_bias == 127
+        assert FLOAT64.exponent_bias == 1023
+        assert FLOAT16.exponent_bias == 15
+
+    def test_is_native(self):
+        assert not BFLOAT16.is_native
+        assert FLOAT16.is_native and FLOAT32.is_native and FLOAT64.is_native
+
+
+class TestResolveFormat:
+    def test_resolve_by_name(self):
+        assert resolve_format("bfloat16") is BFLOAT16
+        assert resolve_format("fp16") is FLOAT16
+        assert resolve_format("float32") is FLOAT32
+        assert resolve_format("double") is FLOAT64
+
+    def test_resolve_case_insensitive(self):
+        assert resolve_format("FLOAT32") is FLOAT32
+        assert resolve_format("  Fp64 ") is FLOAT64
+
+    def test_resolve_format_object_identity(self):
+        assert resolve_format(FLOAT32) is FLOAT32
+
+    def test_resolve_numpy_dtype(self):
+        assert resolve_format(np.dtype(np.float16)) is FLOAT16
+        assert resolve_format(np.float64) is FLOAT64
+
+    def test_resolve_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_format("float128ish")
+
+    def test_resolve_unsupported_dtype_raises(self):
+        with pytest.raises(ValueError):
+            resolve_format(np.int32)
+
+    def test_all_alias_table_entries_resolve(self):
+        for name, fmt in FORMATS_BY_NAME.items():
+            assert resolve_format(name) is fmt

@@ -1,0 +1,110 @@
+"""Unit tests for the §IV-B approximate (block-wise-mean-based) operations."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionSettings, Compressor, ops
+from tests.conftest import smooth_field
+
+
+@pytest.fixture
+def compressed_pair(compressor_3d, field_3d):
+    other = smooth_field(field_3d.shape, seed=66) + 0.5
+    return (
+        field_3d,
+        other,
+        compressor_3d.compress(field_3d),
+        compressor_3d.compress(other),
+    )
+
+
+class TestApproximateMap:
+    def test_identity_map_gives_block_means(self, compressed_pair):
+        a, _, ca, _ = compressed_pair
+        result = ops.approximate_map(ca, lambda x: x)
+        assert np.allclose(result, ca.blockwise_means())
+
+    def test_exp_map_close_to_exact_on_smooth_data(self, compressed_pair, settings_3d):
+        a, _, ca, _ = compressed_pair
+        from repro.core.blocking import block_array
+
+        approx = ops.approximate_map(ca, np.exp)
+        exact_block_means_of_exp = block_array(np.exp(a), settings_3d.block_shape).mean(
+            axis=(-1, -2, -3)
+        )
+        # exp(block mean) vs block mean of exp: the Jensen gap is bounded by the
+        # within-block variation, so the relative error stays moderate on smooth data
+        relative = np.abs(approx - exact_block_means_of_exp) / np.abs(exact_block_means_of_exp)
+        assert relative.max() < 0.5
+        assert np.corrcoef(approx.ravel(), exact_block_means_of_exp.ravel())[0, 1] > 0.99
+
+    def test_shape_is_block_grid(self, compressed_pair):
+        _, _, ca, _ = compressed_pair
+        assert ops.approximate_map(ca, np.abs).shape == ca.grid_shape
+
+    def test_non_elementwise_func_rejected(self, compressed_pair):
+        _, _, ca, _ = compressed_pair
+        with pytest.raises(ValueError):
+            ops.approximate_map(ca, lambda x: x.sum())
+
+
+class TestApproximateBinaryMap:
+    def test_difference_map_matches_mean_difference(self, compressed_pair):
+        _, _, ca, cb = compressed_pair
+        result = ops.approximate_binary_map(ca, cb, lambda x, y: x - y)
+        assert np.allclose(result, ca.blockwise_means() - cb.blockwise_means())
+
+    def test_requires_compatible_operands(self, compressor_3d, field_3d):
+        other = smooth_field((8, 8, 8), seed=1)
+        ca = compressor_3d.compress(field_3d)
+        cb = compressor_3d.compress(other)
+        with pytest.raises(ValueError):
+            ops.approximate_binary_map(ca, cb, np.add)
+
+    def test_non_elementwise_func_rejected(self, compressed_pair):
+        _, _, ca, cb = compressed_pair
+        with pytest.raises(ValueError):
+            ops.approximate_binary_map(ca, cb, lambda x, y: np.dot(x.ravel(), y.ravel()))
+
+
+class TestApproximateReduceHistogramQuantile:
+    def test_mean_reduction_matches_compressed_mean(self, compressed_pair):
+        _, _, ca, _ = compressed_pair
+        assert ops.approximate_reduce(ca, np.mean) == pytest.approx(ops.mean(ca), rel=1e-9)
+
+    def test_median_close_to_exact_on_smooth_data(self, compressed_pair):
+        a, _, ca, _ = compressed_pair
+        assert ops.approximate_reduce(ca, np.median) == pytest.approx(
+            float(np.median(a)), abs=0.25
+        )
+
+    def test_histogram_counts_sum_to_block_count(self, compressed_pair):
+        _, _, ca, _ = compressed_pair
+        counts, edges = ops.approximate_histogram(ca, bins=16)
+        assert counts.sum() == ca.n_blocks
+        assert len(edges) == 17
+
+    def test_quantile_monotone_and_bounded(self, compressed_pair):
+        a, _, ca, _ = compressed_pair
+        q25, q50, q75 = ops.approximate_quantile(ca, [0.25, 0.5, 0.75])
+        assert q25 <= q50 <= q75
+        assert a.min() - 1e-9 <= q50 <= a.max() + 1e-9
+
+    def test_quantile_scalar_return(self, compressed_pair):
+        _, _, ca, _ = compressed_pair
+        assert isinstance(ops.approximate_quantile(ca, 0.5), float)
+
+    def test_quantile_out_of_range_rejected(self, compressed_pair):
+        _, _, ca, _ = compressed_pair
+        with pytest.raises(ValueError):
+            ops.approximate_quantile(ca, 1.5)
+
+    def test_approximation_improves_with_smaller_blocks(self, field_3d):
+        exact = float(np.median(field_3d))
+        errors = {}
+        for block in ((2, 2, 2), (8, 8, 8)):
+            settings = CompressionSettings(block_shape=block, float_format="float64",
+                                           index_dtype="int32")
+            compressed = Compressor(settings).compress(field_3d)
+            errors[block] = abs(ops.approximate_reduce(compressed, np.median) - exact)
+        assert errors[(2, 2, 2)] <= errors[(8, 8, 8)] + 1e-9

@@ -1,0 +1,152 @@
+"""Unit tests for the array-valued compressed-space operations (Algorithms 1, 2, 4, 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionSettings, Compressor, ops
+from repro.core.binning import index_radius
+from tests.conftest import smooth_field
+
+
+@pytest.fixture
+def pair_3d(compressor_3d, field_3d):
+    other = smooth_field(field_3d.shape, seed=9)
+    return (
+        field_3d,
+        other,
+        compressor_3d.compress(field_3d),
+        compressor_3d.compress(other),
+    )
+
+
+class TestNegation:
+    def test_negation_is_exact_on_decompressed_values(self, compressor_3d, pair_3d):
+        a, _, ca, _ = pair_3d
+        da = compressor_3d.decompress(ca)
+        negated = compressor_3d.decompress(ops.negate(ca))
+        assert np.array_equal(negated, -da)
+
+    def test_double_negation_is_identity(self, pair_3d):
+        _, _, ca, _ = pair_3d
+        twice = ops.negate(ops.negate(ca))
+        assert twice.allclose(ca)
+
+    def test_negation_preserves_maxima(self, pair_3d):
+        _, _, ca, _ = pair_3d
+        assert np.array_equal(ops.negate(ca).maxima, ca.maxima)
+
+    def test_negation_close_to_true_negative(self, compressor_3d, pair_3d):
+        a, _, ca, _ = pair_3d
+        negated = compressor_3d.decompress(ops.negate(ca))
+        assert np.abs(negated + a).max() < 5e-3
+
+
+class TestMultiplyScalar:
+    @pytest.mark.parametrize("scalar", [2.0, -3.5, 0.1, 1.0, -1.0])
+    def test_exact_on_decompressed_values(self, compressor_3d, pair_3d, scalar):
+        _, _, ca, _ = pair_3d
+        da = compressor_3d.decompress(ca)
+        scaled = compressor_3d.decompress(ops.multiply_scalar(ca, scalar))
+        assert np.allclose(scaled, scalar * da, rtol=1e-12, atol=1e-12)
+
+    def test_zero_scalar_gives_exact_zero(self, compressor_3d, pair_3d):
+        _, _, ca, _ = pair_3d
+        zero = compressor_3d.decompress(ops.multiply_scalar(ca, 0.0))
+        assert np.all(zero == 0)
+
+    def test_negative_scalar_flips_indices(self, pair_3d):
+        _, _, ca, _ = pair_3d
+        scaled = ops.multiply_scalar(ca, -2.0)
+        assert np.array_equal(scaled.indices, -ca.indices)
+        assert np.allclose(scaled.maxima, 2.0 * ca.maxima)
+
+    def test_non_finite_scalar_rejected(self, pair_3d):
+        _, _, ca, _ = pair_3d
+        with pytest.raises(ValueError):
+            ops.multiply_scalar(ca, np.inf)
+
+
+class TestAddition:
+    def test_add_close_to_true_sum(self, compressor_3d, pair_3d):
+        a, b, ca, cb = pair_3d
+        total = compressor_3d.decompress(ops.add(ca, cb))
+        assert np.abs(total - (a + b)).max() < 1e-2
+
+    def test_add_error_bounded_by_rebinning(self, compressor_3d, pair_3d, settings_3d):
+        # additional error vs the sum of decompressed operands is at most one new
+        # half-bin width per coefficient, amplified by at most sqrt(block size)
+        a, b, ca, cb = pair_3d
+        da, db = compressor_3d.decompress(ca), compressor_3d.decompress(cb)
+        total = compressor_3d.decompress(ops.add(ca, cb))
+        radius = index_radius(settings_3d.index_dtype)
+        new_maxima = (ca.maxima + cb.maxima).max()
+        bound = (new_maxima / (2 * radius)) * np.sqrt(settings_3d.block_size) * settings_3d.block_size
+        assert np.abs(total - (da + db)).max() <= bound
+
+    def test_add_is_commutative(self, pair_3d):
+        _, _, ca, cb = pair_3d
+        assert ops.add(ca, cb).allclose(ops.add(cb, ca))
+
+    def test_add_with_negation_gives_difference(self, compressor_3d, pair_3d):
+        a, b, ca, cb = pair_3d
+        via_negate = compressor_3d.decompress(ops.add(ca, ops.negate(cb)))
+        direct = compressor_3d.decompress(ops.subtract(ca, cb))
+        assert np.allclose(via_negate, direct, atol=1e-9)
+        assert np.abs(direct - (a - b)).max() < 1e-2
+
+    def test_self_subtraction_is_zero(self, compressor_3d, pair_3d):
+        _, _, ca, _ = pair_3d
+        diff = compressor_3d.decompress(ops.subtract(ca, ca))
+        assert np.allclose(diff, 0.0, atol=1e-12)
+
+    def test_incompatible_shapes_rejected(self, compressor_3d, field_3d):
+        other_shape = smooth_field((12, 16, 20), seed=5)
+        ca = compressor_3d.compress(field_3d)
+        cb = compressor_3d.compress(other_shape)
+        with pytest.raises(ValueError):
+            ops.add(ca, cb)
+
+    def test_incompatible_settings_rejected(self, field_3d):
+        a = Compressor(CompressionSettings(block_shape=(4, 4, 4), index_dtype="int16"))
+        b = Compressor(CompressionSettings(block_shape=(4, 4, 4), index_dtype="int8"))
+        with pytest.raises(ValueError):
+            ops.add(a.compress(field_3d), b.compress(field_3d))
+
+    def test_type_error_for_raw_arrays(self, field_3d, compressor_3d):
+        ca = compressor_3d.compress(field_3d)
+        with pytest.raises(TypeError):
+            ops.add(ca, field_3d)
+
+
+class TestAddScalar:
+    @pytest.mark.parametrize("scalar", [1.0, -0.75, 10.0])
+    def test_add_scalar_close_to_truth(self, compressor_3d, pair_3d, scalar):
+        a, _, ca, _ = pair_3d
+        shifted = compressor_3d.decompress(ops.add_scalar(ca, scalar))
+        assert np.abs(shifted - (a + scalar)).max() < 0.05 * max(1.0, abs(scalar))
+
+    def test_add_zero_scalar_is_near_identity(self, compressor_3d, pair_3d):
+        _, _, ca, _ = pair_3d
+        da = compressor_3d.decompress(ca)
+        shifted = compressor_3d.decompress(ops.add_scalar(ca, 0.0))
+        assert np.allclose(shifted, da, atol=1e-9)
+
+    def test_add_scalar_shifts_mean_exactly(self, pair_3d):
+        _, _, ca, _ = pair_3d
+        before = ops.mean(ca)
+        after = ops.mean(ops.add_scalar(ca, 2.5))
+        # mean shifts by the scalar up to one rebinning step
+        assert after - before == pytest.approx(2.5, abs=1e-3)
+
+    def test_requires_dc_coefficient(self, field_3d):
+        mask = np.zeros((4, 4, 4), dtype=bool)
+        mask[0, 0, 1] = True
+        settings = CompressionSettings(block_shape=(4, 4, 4), pruning_mask=mask)
+        compressed = Compressor(settings).compress(field_3d)
+        with pytest.raises(ValueError):
+            ops.add_scalar(compressed, 1.0)
+
+    def test_non_finite_scalar_rejected(self, pair_3d):
+        _, _, ca, _ = pair_3d
+        with pytest.raises(ValueError):
+            ops.add_scalar(ca, np.nan)

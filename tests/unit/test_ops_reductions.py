@@ -1,0 +1,103 @@
+"""Unit tests for the scalar reductions: dot, mean, block-wise mean, L2 norm."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionSettings, Compressor, ops
+from repro.core.blocking import block_array
+from tests.conftest import smooth_field
+
+
+@pytest.fixture
+def pair(compressor_3d, field_3d):
+    other = smooth_field(field_3d.shape, seed=21)
+    return field_3d, other, compressor_3d.compress(field_3d), compressor_3d.compress(other)
+
+
+class TestDot:
+    def test_matches_uncompressed_dot(self, pair):
+        a, b, ca, cb = pair
+        assert ops.dot(ca, cb) == pytest.approx(float(np.vdot(a, b)), rel=1e-3)
+
+    def test_equals_decompressed_dot_exactly(self, compressor_3d, pair):
+        # "no additional error": the compressed-space dot equals the dot of the
+        # decompressed arrays up to floating-point rounding
+        _, _, ca, cb = pair
+        da, db = compressor_3d.decompress(ca), compressor_3d.decompress(cb)
+        assert ops.dot(ca, cb) == pytest.approx(float(np.vdot(da, db)), rel=1e-10)
+
+    def test_dot_with_self_is_norm_squared(self, pair):
+        _, _, ca, _ = pair
+        assert ops.dot(ca, ca) == pytest.approx(ops.l2_norm(ca) ** 2, rel=1e-12)
+
+    def test_symmetry(self, pair):
+        _, _, ca, cb = pair
+        assert ops.dot(ca, cb) == pytest.approx(ops.dot(cb, ca), rel=1e-12)
+
+    def test_incompatible_operands_rejected(self, compressor_3d, compressor_2d, field_3d, field_2d):
+        with pytest.raises((ValueError, TypeError)):
+            ops.dot(compressor_3d.compress(field_3d), compressor_2d.compress(field_2d))
+
+
+class TestMean:
+    def test_matches_uncompressed_mean_when_shape_divides(self, pair):
+        a, _, ca, _ = pair
+        assert ops.mean(ca) == pytest.approx(float(a.mean()), abs=1e-4)
+
+    def test_equals_decompressed_mean_exactly(self, compressor_3d, pair):
+        _, _, ca, _ = pair
+        da = compressor_3d.decompress(ca)
+        assert ops.mean(ca) == pytest.approx(float(da.mean()), rel=1e-10)
+
+    def test_padded_vs_cropped_semantics(self, compressor_3d):
+        array = smooth_field((6, 6, 6), seed=2) + 2.0  # not a multiple of 4
+        compressed = compressor_3d.compress(array)
+        padded_mean = ops.mean(compressed)
+        unpadded_equivalent = ops.mean(compressed, padded=False)
+        # padded mean dilutes by the zero padding; rescaling recovers the true mean
+        assert padded_mean < float(array.mean())
+        assert unpadded_equivalent == pytest.approx(float(array.mean()), rel=1e-2)
+
+    def test_blockwise_mean_matches_block_means(self, pair, settings_3d):
+        a, _, ca, _ = pair
+        blocked = block_array(a, settings_3d.block_shape)
+        true_means = blocked.mean(axis=(-1, -2, -3))
+        assert np.allclose(ops.blockwise_mean(ca), true_means, atol=1e-3)
+
+    def test_mean_linear_under_scalar_multiplication(self, pair):
+        _, _, ca, _ = pair
+        assert ops.mean(ops.multiply_scalar(ca, -4.0)) == pytest.approx(-4.0 * ops.mean(ca), rel=1e-9)
+
+
+class TestL2Norm:
+    def test_matches_uncompressed_norm(self, pair):
+        a, _, ca, _ = pair
+        assert ops.l2_norm(ca) == pytest.approx(float(np.linalg.norm(a)), rel=1e-4)
+
+    def test_equals_decompressed_norm_exactly(self, compressor_3d, pair):
+        _, _, ca, _ = pair
+        da = compressor_3d.decompress(ca)
+        assert ops.l2_norm(ca) == pytest.approx(float(np.linalg.norm(da)), rel=1e-10)
+
+    def test_norm_nonnegative_and_zero_for_zero_array(self, compressor_3d):
+        zero = compressor_3d.compress(np.zeros((8, 8, 8)))
+        assert ops.l2_norm(zero) == 0.0
+
+    def test_scales_with_scalar_multiplication(self, pair):
+        _, _, ca, _ = pair
+        assert ops.l2_norm(ops.multiply_scalar(ca, -3.0)) == pytest.approx(
+            3.0 * ops.l2_norm(ca), rel=1e-9
+        )
+
+    def test_triangle_inequality_with_addition(self, pair):
+        _, _, ca, cb = pair
+        total = ops.add(ca, cb)
+        assert ops.l2_norm(total) <= ops.l2_norm(ca) + ops.l2_norm(cb) + 1e-6
+
+    def test_padding_does_not_change_norm(self):
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float64",
+                                       index_dtype="int32")
+        compressor = Compressor(settings)
+        array = smooth_field((6, 10), seed=8)
+        compressed = compressor.compress(array)
+        assert ops.l2_norm(compressed) == pytest.approx(float(np.linalg.norm(array)), rel=1e-3)

@@ -1,0 +1,102 @@
+"""Unit tests for cosine similarity and SSIM in the compressed space."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import reference_cosine_similarity, reference_ssim
+from repro.core import ops
+from tests.conftest import smooth_field
+
+
+@pytest.fixture
+def pair(compressor_3d, field_3d):
+    other = smooth_field(field_3d.shape, seed=44)
+    return field_3d, other, compressor_3d.compress(field_3d), compressor_3d.compress(other)
+
+
+class TestCosineSimilarity:
+    def test_matches_uncompressed(self, pair):
+        a, b, ca, cb = pair
+        assert ops.cosine_similarity(ca, cb) == pytest.approx(
+            reference_cosine_similarity(a, b), abs=1e-3
+        )
+
+    def test_self_similarity_is_one(self, pair):
+        _, _, ca, _ = pair
+        assert ops.cosine_similarity(ca, ca) == pytest.approx(1.0, rel=1e-12)
+
+    def test_negation_gives_minus_one(self, pair):
+        _, _, ca, _ = pair
+        assert ops.cosine_similarity(ca, ops.negate(ca)) == pytest.approx(-1.0, rel=1e-12)
+
+    def test_bounded_by_one(self, pair):
+        _, _, ca, cb = pair
+        assert abs(ops.cosine_similarity(ca, cb)) <= 1.0 + 1e-12
+
+    def test_scale_invariance(self, pair):
+        _, _, ca, cb = pair
+        scaled = ops.multiply_scalar(cb, 7.5)
+        assert ops.cosine_similarity(ca, scaled) == pytest.approx(
+            ops.cosine_similarity(ca, cb), rel=1e-9
+        )
+
+    def test_zero_norm_raises(self, compressor_3d, pair):
+        _, _, ca, _ = pair
+        zero = compressor_3d.compress(np.zeros((8, 8, 8)))
+        with pytest.raises((ZeroDivisionError, ValueError)):
+            ops.cosine_similarity(zero, zero)
+
+    def test_symmetry(self, pair):
+        _, _, ca, cb = pair
+        assert ops.cosine_similarity(ca, cb) == pytest.approx(
+            ops.cosine_similarity(cb, ca), rel=1e-12
+        )
+
+
+class TestStructuralSimilarity:
+    def test_identical_inputs_give_one(self, pair):
+        _, _, ca, _ = pair
+        assert ops.structural_similarity(ca, ca) == pytest.approx(1.0, abs=1e-9)
+
+    def test_matches_reference_on_normalized_data(self, compressor_3d):
+        a = (smooth_field((16, 16, 16), seed=1) + 3) / 6
+        b = np.clip(a + 0.1 * np.random.default_rng(0).standard_normal(a.shape), 0, 1)
+        ca, cb = compressor_3d.compress(a), compressor_3d.compress(b)
+        assert ops.structural_similarity(ca, cb) == pytest.approx(
+            reference_ssim(a, b), abs=2e-2
+        )
+
+    def test_equals_reference_on_decompressed_exactly(self, compressor_3d, pair):
+        _, _, ca, cb = pair
+        da, db = compressor_3d.decompress(ca), compressor_3d.decompress(cb)
+        assert ops.structural_similarity(ca, cb) == pytest.approx(
+            reference_ssim(da, db), rel=1e-6
+        )
+
+    def test_dissimilar_less_than_similar(self, compressor_3d):
+        base = (smooth_field((16, 16, 16), seed=2) + 3) / 6
+        near = np.clip(base + 0.02, 0, 1)
+        far = np.clip(1.0 - base, 0, 1)
+        cb, cn, cf = (compressor_3d.compress(x) for x in (base, near, far))
+        assert ops.structural_similarity(cb, cn) > ops.structural_similarity(cb, cf)
+
+    def test_symmetry(self, pair):
+        _, _, ca, cb = pair
+        assert ops.structural_similarity(ca, cb) == pytest.approx(
+            ops.structural_similarity(cb, ca), rel=1e-9
+        )
+
+    def test_weights_change_result(self, pair):
+        _, _, ca, cb = pair
+        default = ops.structural_similarity(ca, cb)
+        luminance_only = ops.structural_similarity(
+            ca, cb, contrast_weight=0.0, structure_weight=0.0
+        )
+        assert luminance_only != pytest.approx(default, rel=1e-6)
+
+    def test_invalid_stabilizers_rejected(self, pair):
+        _, _, ca, cb = pair
+        with pytest.raises(ValueError):
+            ops.structural_similarity(ca, cb, luminance_stabilizer=0.0)
+        with pytest.raises(ValueError):
+            ops.structural_similarity(ca, cb, contrast_stabilizer=-1.0)

@@ -1,0 +1,103 @@
+"""Unit tests for covariance, variance, standard deviation and their block-wise forms."""
+
+import numpy as np
+import pytest
+
+from repro.core import ops
+from repro.core.blocking import block_array
+from tests.conftest import smooth_field
+
+
+@pytest.fixture
+def pair(compressor_3d, field_3d):
+    other = smooth_field(field_3d.shape, seed=33)
+    return field_3d, other, compressor_3d.compress(field_3d), compressor_3d.compress(other)
+
+
+class TestVarianceCovariance:
+    def test_variance_matches_uncompressed(self, pair):
+        a, _, ca, _ = pair
+        assert ops.variance(ca) == pytest.approx(float(a.var()), rel=1e-3)
+
+    def test_variance_equals_decompressed_variance_exactly(self, compressor_3d, pair):
+        _, _, ca, _ = pair
+        da = compressor_3d.decompress(ca)
+        assert ops.variance(ca) == pytest.approx(float(da.var()), rel=1e-9)
+
+    def test_covariance_matches_uncompressed(self, pair):
+        a, b, ca, cb = pair
+        expected = float(np.mean((a - a.mean()) * (b - b.mean())))
+        assert ops.covariance(ca, cb) == pytest.approx(expected, rel=1e-2, abs=1e-5)
+
+    def test_covariance_with_self_is_variance(self, pair):
+        _, _, ca, _ = pair
+        assert ops.covariance(ca, ca) == pytest.approx(ops.variance(ca), rel=1e-12)
+
+    def test_covariance_symmetry(self, pair):
+        _, _, ca, cb = pair
+        assert ops.covariance(ca, cb) == pytest.approx(ops.covariance(cb, ca), rel=1e-12)
+
+    def test_variance_nonnegative(self, pair):
+        _, _, ca, cb = pair
+        assert ops.variance(ca) >= 0
+        assert ops.variance(cb) >= 0
+
+    def test_variance_of_constant_array_is_zero(self, compressor_3d):
+        constant = compressor_3d.compress(np.full((8, 8, 8), 2.5))
+        assert ops.variance(constant) == pytest.approx(0.0, abs=1e-10)
+
+    def test_standard_deviation_is_sqrt_variance(self, pair):
+        _, _, ca, _ = pair
+        assert ops.standard_deviation(ca) == pytest.approx(np.sqrt(ops.variance(ca)), rel=1e-12)
+
+    def test_variance_invariant_to_scalar_addition(self, pair):
+        _, _, ca, _ = pair
+        shifted = ops.add_scalar(ca, 5.0)
+        assert ops.variance(shifted) == pytest.approx(ops.variance(ca), rel=5e-2)
+
+    def test_variance_scales_quadratically(self, pair):
+        _, _, ca, _ = pair
+        assert ops.variance(ops.multiply_scalar(ca, 3.0)) == pytest.approx(
+            9.0 * ops.variance(ca), rel=1e-9
+        )
+
+    def test_cauchy_schwarz(self, pair):
+        _, _, ca, cb = pair
+        cov = ops.covariance(ca, cb)
+        assert cov * cov <= ops.variance(ca) * ops.variance(cb) * (1 + 1e-9)
+
+    def test_requires_compatible_operands(self, compressor_3d, compressor_2d, field_3d, field_2d):
+        with pytest.raises((ValueError, TypeError)):
+            ops.covariance(compressor_3d.compress(field_3d), compressor_2d.compress(field_2d))
+
+
+class TestBlockwiseStatistics:
+    def test_blockwise_variance_matches_block_variances(self, pair, settings_3d):
+        a, _, ca, _ = pair
+        blocked = block_array(a, settings_3d.block_shape)
+        true_var = blocked.var(axis=(-1, -2, -3))
+        assert np.allclose(ops.blockwise_variance(ca), true_var, atol=2e-3)
+
+    def test_blockwise_covariance_matches_block_covariances(self, pair, settings_3d):
+        a, b, ca, cb = pair
+        blocked_a = block_array(a, settings_3d.block_shape)
+        blocked_b = block_array(b, settings_3d.block_shape)
+        mean_a = blocked_a.mean(axis=(-1, -2, -3), keepdims=True)
+        mean_b = blocked_b.mean(axis=(-1, -2, -3), keepdims=True)
+        true_cov = ((blocked_a - mean_a) * (blocked_b - mean_b)).mean(axis=(-1, -2, -3))
+        assert np.allclose(ops.blockwise_covariance(ca, cb), true_cov, atol=2e-3)
+
+    def test_blockwise_std_is_sqrt_of_variance(self, pair):
+        _, _, ca, _ = pair
+        assert np.allclose(
+            ops.blockwise_standard_deviation(ca), np.sqrt(ops.blockwise_variance(ca))
+        )
+
+    def test_blockwise_variance_nonnegative(self, pair):
+        _, _, ca, _ = pair
+        assert np.all(ops.blockwise_variance(ca) >= 0)
+
+    def test_blockwise_shapes(self, pair):
+        _, _, ca, cb = pair
+        assert ops.blockwise_variance(ca).shape == ca.grid_shape
+        assert ops.blockwise_covariance(ca, cb).shape == ca.grid_shape

@@ -1,0 +1,110 @@
+"""Unit tests for the approximate Wasserstein distance (Algorithm 13)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import reference_wasserstein
+from repro.core import CompressionSettings, Compressor, ops
+from repro.core.ops.wasserstein import softmax
+from tests.conftest import smooth_field
+
+
+@pytest.fixture
+def pair(compressor_3d, field_3d):
+    other = smooth_field(field_3d.shape, seed=55) * 1.5 + 0.3
+    return field_3d, other, compressor_3d.compress(field_3d), compressor_3d.compress(other)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self, rng):
+        out = softmax(rng.standard_normal(100))
+        assert out.sum() == pytest.approx(1.0)
+        assert np.all(out > 0)
+
+    def test_shift_invariance(self, rng):
+        values = rng.standard_normal(50)
+        assert np.allclose(softmax(values), softmax(values + 123.0))
+
+    def test_handles_large_values_without_overflow(self):
+        out = softmax(np.array([1000.0, 1000.0, 999.0]))
+        assert np.isfinite(out).all()
+        assert out.sum() == pytest.approx(1.0)
+
+
+class TestWassersteinProperties:
+    def test_identity_of_indiscernibles(self, pair):
+        _, _, ca, _ = pair
+        assert ops.wasserstein_distance(ca, ca, order=1) == pytest.approx(0.0, abs=1e-15)
+
+    def test_symmetry(self, pair):
+        _, _, ca, cb = pair
+        for order in (1, 2, 8):
+            assert ops.wasserstein_distance(ca, cb, order) == pytest.approx(
+                ops.wasserstein_distance(cb, ca, order), rel=1e-12
+            )
+
+    def test_nonnegative(self, pair):
+        _, _, ca, cb = pair
+        assert ops.wasserstein_distance(ca, cb, order=1) >= 0
+
+    def test_order_below_one_rejected(self, pair):
+        _, _, ca, cb = pair
+        with pytest.raises(ValueError):
+            ops.wasserstein_distance(ca, cb, order=0.5)
+
+    def test_matches_blockwise_mean_reference(self, pair, settings_3d):
+        a, b, ca, cb = pair
+        for order in (1, 2, 4):
+            ours = ops.wasserstein_distance(ca, cb, order=order)
+            reference = reference_wasserstein(a, b, order=order,
+                                              block_shape=settings_3d.block_shape)
+            assert ours == pytest.approx(reference, rel=1e-2, abs=1e-9)
+
+    def test_block_size_controls_approximation(self, field_3d):
+        # §IV-B: smaller blocks approximate the element-wise distance better;
+        # one-element blocks would be exact.
+        other = smooth_field(field_3d.shape, seed=77) + 0.25
+        exact = reference_wasserstein(field_3d, other, order=1)
+        errors = []
+        for block in ((2, 2, 2), (4, 4, 4), (8, 8, 8)):
+            settings = CompressionSettings(block_shape=block, float_format="float64",
+                                           index_dtype="int32")
+            compressor = Compressor(settings)
+            value = ops.wasserstein_distance(
+                compressor.compress(field_3d), compressor.compress(other), order=1
+            )
+            errors.append(abs(value - exact))
+        assert errors[0] <= errors[2] * 1.5 + 1e-12  # coarser blocks are not better
+
+    def test_stable_and_naive_agree_at_moderate_order(self, pair):
+        _, _, ca, cb = pair
+        stable = ops.wasserstein_distance(ca, cb, order=8, stable=True)
+        naive = ops.wasserstein_distance(ca, cb, order=8, stable=False)
+        assert stable == pytest.approx(naive, rel=1e-9)
+
+    def test_naive_evaluation_underflows_at_extreme_order(self, pair):
+        # reproduces the paper's observation that all peaks vanish for p >= 80 when
+        # |diff|^p underflows in float64
+        _, _, ca, cb = pair
+        stable = ops.wasserstein_distance(ca, cb, order=300, stable=True)
+        naive = ops.wasserstein_distance(ca, cb, order=300, stable=False)
+        assert stable > 0
+        assert naive == pytest.approx(0.0, abs=1e-30) or naive < stable
+
+    def test_high_order_approaches_max_displacement(self, pair):
+        _, _, ca, cb = pair
+        w_small = ops.wasserstein_distance(ca, cb, order=1)
+        w_large = ops.wasserstein_distance(ca, cb, order=64)
+        assert w_large >= w_small * 0.1  # both positive and same scale
+        # order-∞ limit: the largest sorted difference (times n^(-1/p) → 1)
+        means_a = np.sort(softmax(ca.blockwise_means()))
+        means_b = np.sort(softmax(cb.blockwise_means()))
+        max_diff = np.abs(means_a - means_b).max()
+        assert w_large <= max_diff * 1.001
+
+    def test_requires_compatible_operands(self, compressor_3d, field_3d):
+        other = smooth_field((12, 12, 12), seed=3)
+        with pytest.raises(ValueError):
+            ops.wasserstein_distance(
+                compressor_3d.compress(field_3d), compressor_3d.compress(other)
+            )

@@ -1,0 +1,71 @@
+"""Unit tests for the block-chunked execution backends."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionSettings, Compressor
+from repro.parallel import LoopExecutor, SerialExecutor, ThreadedExecutor, chunk_slices
+from tests.conftest import smooth_field
+
+
+class TestChunkSlices:
+    def test_covers_range_without_overlap(self):
+        slices = list(chunk_slices(10, 3))
+        covered = []
+        for sl in slices:
+            covered.extend(range(sl.start, sl.stop))
+        assert covered == list(range(10))
+
+    def test_number_of_chunks_bounded(self):
+        assert len(list(chunk_slices(10, 3))) == 3
+        assert len(list(chunk_slices(2, 8))) == 2
+        assert len(list(chunk_slices(0, 4))) == 0
+
+    def test_near_equal_sizes(self):
+        sizes = [sl.stop - sl.start for sl in chunk_slices(11, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            list(chunk_slices(-1, 2))
+        with pytest.raises(ValueError):
+            list(chunk_slices(4, 0))
+
+
+@pytest.mark.parametrize(
+    "executor_factory",
+    [SerialExecutor, lambda: ThreadedExecutor(2), lambda: ThreadedExecutor(8), LoopExecutor],
+)
+class TestExecutorsMatchVectorizedPath:
+    def test_compress_identical(self, executor_factory, field_3d, settings_3d):
+        reference = Compressor(settings_3d).compress(field_3d)
+        result = Compressor(settings_3d, executor=executor_factory()).compress(field_3d)
+        assert result.allclose(reference)
+        assert np.array_equal(result.indices, reference.indices)
+
+    def test_decompress_identical(self, executor_factory, field_3d, settings_3d):
+        reference_compressor = Compressor(settings_3d)
+        compressed = reference_compressor.compress(field_3d)
+        expected = reference_compressor.decompress(compressed)
+        result = Compressor(settings_3d, executor=executor_factory()).decompress(compressed)
+        assert np.allclose(result, expected, atol=1e-12)
+
+    def test_non_multiple_shape(self, executor_factory):
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
+                                       index_dtype="int8")
+        array = smooth_field((10, 14), seed=5)
+        reference = Compressor(settings).compress(array)
+        result = Compressor(settings, executor=executor_factory()).compress(array)
+        assert result.allclose(reference)
+
+
+class TestThreadedExecutorConfig:
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadedExecutor(0)
+
+    def test_single_chunk_degenerate_case(self, field_2d, settings_2d):
+        # one worker means one chunk: still correct
+        reference = Compressor(settings_2d).compress(field_2d)
+        result = Compressor(settings_2d, executor=ThreadedExecutor(1)).compress(field_2d)
+        assert result.allclose(reference)

@@ -1,0 +1,119 @@
+"""Unit tests for repro.core.pruning."""
+
+import numpy as np
+import pytest
+
+from repro.core.pruning import (
+    corner_pruning_mask,
+    flatten_kept,
+    keep_all_mask,
+    low_frequency_mask,
+    top_k_mask,
+    unflatten_kept,
+    validate_mask,
+)
+
+
+class TestMaskConstructors:
+    def test_keep_all(self):
+        mask = keep_all_mask((4, 4))
+        assert mask.shape == (4, 4) and mask.all()
+
+    def test_top_k_keeps_exactly_k(self):
+        for k in (1, 5, 16):
+            assert top_k_mask((4, 4), k).sum() == k
+
+    def test_top_k_always_keeps_dc(self):
+        for k in range(1, 9):
+            assert top_k_mask((2, 2, 2), k)[0, 0, 0]
+
+    def test_top_k_prefers_low_frequency(self):
+        mask = top_k_mask((4, 4), 3)
+        # total frequency 0: (0,0); frequency 1: (0,1) and (1,0)
+        assert mask[0, 0] and mask[0, 1] and mask[1, 0]
+        assert not mask[3, 3]
+
+    def test_top_k_clips_out_of_range(self):
+        assert top_k_mask((2, 2), 100).sum() == 4
+        assert top_k_mask((2, 2), 0).sum() == 1
+
+    def test_low_frequency_fraction(self):
+        mask = low_frequency_mask((4, 4, 4), 0.5)
+        assert mask.sum() == 32
+        assert mask[0, 0, 0]
+
+    def test_low_frequency_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            low_frequency_mask((4, 4), 0.0)
+        with pytest.raises(ValueError):
+            low_frequency_mask((4, 4), 1.5)
+
+    def test_corner_pruning_blaz_style(self):
+        # Blaz drops the 6x6 high-index corner of an 8x8 block: keeps 64 - 36 = 28
+        mask = corner_pruning_mask((8, 8), (6, 6))
+        assert mask.sum() == 28
+        assert mask[0, 0]  # DC coefficient kept
+        assert not mask[7, 7] and not mask[2, 2]  # high-index 6x6 corner dropped
+        assert mask[1, 7] and mask[7, 1]  # first two rows/columns kept entirely
+
+    def test_corner_pruning_zero_drop_keeps_all(self):
+        assert corner_pruning_mask((4, 4), (0, 0)).all()
+
+    def test_corner_pruning_cannot_drop_everything(self):
+        with pytest.raises(ValueError):
+            corner_pruning_mask((4, 4), (4, 4))
+
+    def test_corner_pruning_validates_extents(self):
+        with pytest.raises(ValueError):
+            corner_pruning_mask((4, 4), (5, 2))
+        with pytest.raises(ValueError):
+            corner_pruning_mask((4, 4), (2,))
+
+    def test_validate_mask(self):
+        mask = keep_all_mask((2, 2))
+        assert validate_mask(mask, (2, 2)).all()
+        with pytest.raises(ValueError):
+            validate_mask(np.zeros((2, 2), dtype=bool), (2, 2))
+        with pytest.raises(ValueError):
+            validate_mask(mask, (4, 4))
+
+
+class TestFlattenUnflatten:
+    def test_roundtrip_keep_all(self, rng):
+        blocked = rng.random((3, 2, 4, 4))
+        mask = keep_all_mask((4, 4))
+        flat = flatten_kept(blocked, mask)
+        assert flat.shape == (6, 16)
+        restored = unflatten_kept(flat, mask, (3, 2))
+        assert np.array_equal(restored, blocked)
+
+    def test_roundtrip_with_pruning_zeros_dropped_slots(self, rng):
+        blocked = rng.random((2, 2, 4, 4)) + 1.0  # strictly positive
+        mask = top_k_mask((4, 4), 5)
+        flat = flatten_kept(blocked, mask)
+        assert flat.shape == (4, 5)
+        restored = unflatten_kept(flat, mask, (2, 2))
+        assert np.array_equal(restored[..., mask], blocked[..., mask])
+        assert np.all(restored[..., ~mask] == 0)
+
+    def test_flatten_row_order_matches_c_order_of_blocks(self, rng):
+        blocked = rng.random((2, 3, 2, 2))
+        flat = flatten_kept(blocked, keep_all_mask((2, 2)))
+        assert np.array_equal(flat[0], blocked[0, 0].ravel())
+        assert np.array_equal(flat[1], blocked[0, 1].ravel())
+        assert np.array_equal(flat[3], blocked[1, 0].ravel())
+
+    def test_unflatten_custom_fill_and_dtype(self):
+        mask = top_k_mask((2, 2), 2)
+        flat = np.ones((1, 2), dtype=np.int8)
+        restored = unflatten_kept(flat, mask, (1,), fill_value=0, dtype=np.int8)
+        assert restored.dtype == np.int8
+        assert restored.shape == (1, 2, 2)
+
+    def test_flatten_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            flatten_kept(rng.random((2, 4, 4)), keep_all_mask((8, 8)))
+
+    def test_unflatten_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            unflatten_kept(np.ones((3, 4)), keep_all_mask((2, 2)), (2,))

@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.settings."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionSettings
+from repro.core.pruning import low_frequency_mask
+from repro.numerics import FLOAT32
+
+
+class TestValidation:
+    def test_basic_construction(self):
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
+                                       index_dtype="int16")
+        assert settings.block_shape == (4, 4)
+        assert settings.float_format is FLOAT32
+        assert settings.index_dtype == np.dtype(np.int16)
+        assert settings.transform == "dct"
+
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionSettings(block_shape=(3, 4))
+
+    def test_zero_block_extent_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionSettings(block_shape=(0, 4))
+
+    def test_empty_block_shape_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionSettings(block_shape=())
+
+    def test_unsupported_index_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionSettings(block_shape=(4,), index_dtype="uint8")
+
+    def test_unknown_transform_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionSettings(block_shape=(4,), transform="dft")
+
+    def test_wrong_mask_shape_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionSettings(block_shape=(4, 4), pruning_mask=np.ones((2, 2), dtype=bool))
+
+    def test_all_false_mask_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionSettings(block_shape=(2, 2), pruning_mask=np.zeros((2, 2), dtype=bool))
+
+    def test_mask_is_readonly_copy(self):
+        mask = np.ones((2, 2), dtype=bool)
+        settings = CompressionSettings(block_shape=(2, 2), pruning_mask=mask)
+        mask[0, 0] = False  # mutating the original must not affect the settings
+        assert settings.mask.all()
+        with pytest.raises(ValueError):
+            settings.pruning_mask[0, 0] = False
+
+    def test_non_hypercubic_blocks_allowed(self):
+        settings = CompressionSettings(block_shape=(4, 16, 16))
+        assert settings.block_size == 4 * 16 * 16
+
+
+class TestDerivedQuantities:
+    def test_index_radius_and_bins(self):
+        s8 = CompressionSettings(block_shape=(4,), index_dtype="int8")
+        s16 = CompressionSettings(block_shape=(4,), index_dtype="int16")
+        assert s8.index_radius == 127 and s8.n_bins == 255
+        assert s16.index_radius == 32767 and s16.n_bins == 65535
+
+    def test_dc_scale(self):
+        settings = CompressionSettings(block_shape=(4, 16, 16))
+        assert settings.dc_scale == pytest.approx(np.sqrt(4 * 16 * 16))
+
+    def test_kept_per_block_with_pruning(self):
+        mask = low_frequency_mask((4, 4), 0.5)
+        settings = CompressionSettings(block_shape=(4, 4), pruning_mask=mask)
+        assert settings.kept_per_block == 8
+        assert settings.first_coefficient_kept
+
+    def test_block_grid_and_padded_shape(self):
+        settings = CompressionSettings(block_shape=(4, 4, 4))
+        assert settings.block_grid_shape((3, 224, 224)) == (1, 56, 56)
+        assert settings.padded_shape((3, 224, 224)) == (4, 224, 224)
+        assert settings.n_blocks((3, 224, 224)) == 56 * 56
+
+    def test_block_grid_dimension_mismatch(self):
+        settings = CompressionSettings(block_shape=(4, 4))
+        with pytest.raises(ValueError):
+            settings.block_grid_shape((8, 8, 8))
+
+    def test_block_grid_nonpositive_shape(self):
+        settings = CompressionSettings(block_shape=(4, 4))
+        with pytest.raises(ValueError):
+            settings.block_grid_shape((0, 8))
+
+    def test_describe_mentions_key_settings(self):
+        settings = CompressionSettings(block_shape=(4, 8), float_format="fp16",
+                                       index_dtype="int8", transform="haar")
+        text = settings.describe()
+        assert "4x8" in text and "float16" in text and "int8" in text and "haar" in text
+
+
+class TestCompatibilityAndCopies:
+    def test_compatible_when_core_fields_match(self):
+        a = CompressionSettings(block_shape=(4, 4), float_format="float32", index_dtype="int16")
+        b = CompressionSettings(block_shape=(4, 4), float_format="float64", index_dtype="int16")
+        # float format may differ (it only affects stored precision of N), the rest must match
+        assert a.is_compatible_with(b)
+
+    def test_incompatible_block_shape(self):
+        a = CompressionSettings(block_shape=(4, 4))
+        b = CompressionSettings(block_shape=(8, 8))
+        assert not a.is_compatible_with(b)
+
+    def test_incompatible_index_dtype(self):
+        a = CompressionSettings(block_shape=(4, 4), index_dtype="int8")
+        b = CompressionSettings(block_shape=(4, 4), index_dtype="int16")
+        assert not a.is_compatible_with(b)
+
+    def test_incompatible_mask(self):
+        a = CompressionSettings(block_shape=(4, 4))
+        b = CompressionSettings(block_shape=(4, 4), pruning_mask=low_frequency_mask((4, 4), 0.5))
+        assert not a.is_compatible_with(b)
+
+    def test_with_replaces_fields(self):
+        a = CompressionSettings(block_shape=(4, 4), index_dtype="int8")
+        b = a.with_(index_dtype="int32")
+        assert b.index_dtype == np.dtype(np.int32)
+        assert a.index_dtype == np.dtype(np.int8)
+        assert b.block_shape == a.block_shape
+
+    def test_settings_are_hashable_frozen(self):
+        a = CompressionSettings(block_shape=(4, 4))
+        with pytest.raises(Exception):
+            a.transform = "haar"  # frozen dataclass

@@ -1,0 +1,207 @@
+"""Unit tests for the data-generating substrates (shallow water, MRI, fission, gradients)."""
+
+import numpy as np
+import pytest
+
+from repro.simulators import (
+    FissionSeries,
+    ShallowWaterConfig,
+    ShallowWaterSimulator,
+    generate_fission_series,
+    generate_mri_dataset,
+    generate_mri_volume,
+    gradient_array,
+)
+from repro.simulators.fission import FISSION_TIME_STEPS, SCISSION_INTERVAL
+from repro.simulators.mri import LGG_FLAIR_MEAN
+
+
+class TestGradientArray:
+    def test_range_and_corners(self):
+        g = gradient_array((8, 8))
+        assert g[0, 0] == 0.0 and g[-1, -1] == 1.0
+        assert g.min() == 0.0 and g.max() == 1.0
+
+    def test_paper_formula(self):
+        # X_x = sum(x) / sum(s - 1)
+        g = gradient_array((4, 6))
+        assert g[2, 3] == pytest.approx((2 + 3) / (3 + 5))
+
+    def test_monotone_along_each_axis(self):
+        g = gradient_array((5, 7, 3))
+        assert np.all(np.diff(g, axis=0) >= 0)
+        assert np.all(np.diff(g, axis=2) >= 0)
+
+    def test_single_element(self):
+        assert gradient_array((1, 1)).item() == 0.0
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            gradient_array((0, 4))
+
+    def test_dtype(self):
+        assert gradient_array((4,), dtype=np.float32).dtype == np.float32
+
+
+class TestShallowWater:
+    @pytest.fixture(scope="class")
+    def small_config(self):
+        return ShallowWaterConfig(nx=16, ny=32)
+
+    def test_run_produces_finite_fields(self, small_config):
+        result = ShallowWaterSimulator(small_config).run(50, "float64")
+        assert np.isfinite(result.final_height).all()
+        assert result.final_height.shape == (16, 32)
+
+    def test_snapshots_collected(self, small_config):
+        result = ShallowWaterSimulator(small_config).run(40, "float64", snapshot_every=10)
+        assert result.heights.shape[0] == 5  # initial + 4 snapshots
+        assert result.times[0] == 0.0
+        assert result.times[-1] == pytest.approx(40 * small_config.time_step())
+
+    def test_dynamics_actually_evolve(self, small_config):
+        result = ShallowWaterSimulator(small_config).run(100, "float64")
+        assert np.abs(result.heights[-1] - result.heights[0]).max() > 1e-6
+
+    def test_precisions_diverge(self, small_config):
+        sim = ShallowWaterSimulator(small_config)
+        low = sim.run(150, "float16")
+        high = sim.run(150, "float32")
+        diff = np.abs(low.final_height - high.final_height).max()
+        assert diff > 0.0
+        # but the two runs still describe the same flow (same order of magnitude)
+        assert diff < np.abs(high.final_height).max()
+
+    def test_same_precision_is_deterministic(self, small_config):
+        a = ShallowWaterSimulator(small_config).run(60, "float32")
+        b = ShallowWaterSimulator(small_config).run(60, "float32")
+        assert np.array_equal(a.final_height, b.final_height)
+
+    def test_float16_values_stay_in_format(self, small_config):
+        result = ShallowWaterSimulator(small_config).run(30, "float16")
+        heights = result.final_height
+        assert np.array_equal(heights, heights.astype(np.float16).astype(np.float64))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ShallowWaterConfig(nx=2, ny=32)
+        with pytest.raises(ValueError):
+            ShallowWaterConfig(mean_depth=100.0, seamount_height=200.0)
+        with pytest.raises(ValueError):
+            ShallowWaterConfig(cfl=1.5)
+
+    def test_invalid_steps(self, small_config):
+        with pytest.raises(ValueError):
+            ShallowWaterSimulator(small_config).run(0)
+
+    def test_topography_has_seamount(self, small_config):
+        sim = ShallowWaterSimulator(small_config)
+        depth = sim._depth
+        assert depth.min() < small_config.mean_depth
+        assert depth.max() == pytest.approx(small_config.mean_depth, rel=0.05)
+        # the shallowest point sits mid-domain
+        argmin = np.unravel_index(np.argmin(depth), depth.shape)
+        assert 4 <= argmin[0] <= 12 and 8 <= argmin[1] <= 24
+
+    def test_double_gyre_forcing_profile(self, small_config):
+        sim = ShallowWaterSimulator(small_config)
+        forcing = sim._forcing
+        # cos(2*pi*y/Ly): negative near the walls, positive mid-domain
+        assert forcing[0, 0] < 0
+        assert forcing[0, small_config.ny // 2] > 0
+
+
+class TestMRIGenerator:
+    def test_volume_properties(self, rng):
+        volume = generate_mri_volume(rng, depth=24, plane_size=48)
+        assert volume.shape == (24, 48, 48)
+        assert volume.data.min() >= 0.0 and volume.data.max() <= 1.0
+        assert volume.channel == "flair"
+
+    def test_statistics_near_lgg(self):
+        volumes = generate_mri_dataset(n_volumes=4, plane_size=48, seed=1)
+        means = [v.data.mean() for v in volumes]
+        assert 0.3 * LGG_FLAIR_MEAN < np.mean(means) < 3.0 * LGG_FLAIR_MEAN
+
+    def test_depths_vary_in_lgg_range(self):
+        volumes = generate_mri_dataset(n_volumes=6, plane_size=32, seed=2)
+        depths = [v.shape[0] for v in volumes]
+        assert all(20 <= d <= 88 for d in depths)
+        assert len(set(depths)) > 1
+
+    def test_deterministic_given_seed(self):
+        a = generate_mri_dataset(n_volumes=2, plane_size=32, seed=9)
+        b = generate_mri_dataset(n_volumes=2, plane_size=32, seed=9)
+        assert all(np.array_equal(x.data, y.data) for x, y in zip(a, b))
+
+    def test_spatial_correlation_present(self, rng):
+        # neighbouring voxels should be much more similar than random pairs
+        volume = generate_mri_volume(rng, depth=20, plane_size=48).data
+        neighbour_diff = np.abs(np.diff(volume, axis=1)).mean()
+        global_spread = volume.std()
+        assert neighbour_diff < global_spread
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            generate_mri_volume(rng, depth=2, plane_size=64)
+        with pytest.raises(ValueError):
+            generate_mri_dataset(n_volumes=0)
+
+
+class TestFissionGenerator:
+    @pytest.fixture(scope="class")
+    def series(self) -> FissionSeries:
+        return generate_fission_series(grid_shape=(20, 20, 34))
+
+    def test_shapes_and_labels(self, series):
+        assert series.time_steps == FISSION_TIME_STEPS
+        assert series.densities.shape == (15, 20, 20, 34)
+        assert series.log_densities.shape == series.densities.shape
+        assert series.n_steps == 15
+        assert len(series.adjacent_pairs()) == 14
+
+    def test_default_grid_matches_paper(self):
+        series = generate_fission_series()
+        assert series.grid_shape == (40, 40, 66)
+
+    def test_densities_nonnegative(self, series):
+        assert np.all(series.densities >= 0)
+        assert np.isfinite(series.log_densities).all()
+
+    def test_scission_between_690_and_692(self, series):
+        pair = series.adjacent_pairs()[series.scission_index]
+        assert pair == SCISSION_INTERVAL
+
+    def test_l2_peak_at_scission(self, series):
+        diffs = [
+            np.linalg.norm(series.log_densities[i + 1] - series.log_densities[i])
+            for i in range(series.n_steps - 1)
+        ]
+        assert int(np.argmax(diffs)) == series.scission_index
+
+    def test_noise_pairs_match_paper(self, series):
+        noise_pairs = [series.adjacent_pairs()[i] for i in series.noise_indices]
+        assert (685, 686) in noise_pairs
+        assert (695, 699) in noise_pairs
+
+    def test_noise_peaks_stand_out_locally(self, series):
+        diffs = np.array(
+            [
+                np.linalg.norm(series.log_densities[i + 1] - series.log_densities[i])
+                for i in range(series.n_steps - 1)
+            ]
+        )
+        quiet = [i for i in range(5, 9)]  # the single-step pairs before scission
+        for noise_index in series.noise_indices:
+            assert diffs[noise_index] > 2.0 * diffs[quiet].max()
+
+    def test_deterministic_given_seed(self):
+        a = generate_fission_series(grid_shape=(10, 10, 18), seed=1)
+        b = generate_fission_series(grid_shape=(10, 10, 18), seed=1)
+        assert np.array_equal(a.densities, b.densities)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_fission_series(grid_shape=(10, 10))
+        with pytest.raises(ValueError):
+            generate_fission_series(time_steps=(3, 2, 1))
