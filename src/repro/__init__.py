@@ -9,7 +9,9 @@ The package is organised as:
 * :mod:`repro.baselines` — Blaz, ZFP-like and SZ-like comparison compressors.
 * :mod:`repro.simulators` — shallow-water, MRI-like and fission-like data generators.
 * :mod:`repro.analysis` — uncompressed reference operations and error metrics.
-* :mod:`repro.parallel` — block-chunked (thread-parallel) execution backends.
+* :mod:`repro.parallel` — block-chunked (thread/process-parallel) execution backends.
+* :mod:`repro.streaming` — out-of-core slab streaming: :class:`ChunkedCompressor`,
+  the chunk-table :class:`CompressedStore` format, and streaming reductions.
 * :mod:`repro.experiments` — one module per paper table/figure.
 
 Quickstart::
@@ -35,13 +37,16 @@ from .core import (
     serialize,
 )
 from .core import ops
+from .streaming import ChunkedCompressor, CompressedStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompressionSettings",
     "Compressor",
     "CompressedArray",
+    "ChunkedCompressor",
+    "CompressedStore",
     "ops",
     "serialize",
     "deserialize",

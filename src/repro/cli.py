@@ -3,10 +3,16 @@
 Subcommands
 -----------
 
-``compress``    Compress a ``.npy`` array file into a PyBlaz stream.
-``decompress``  Reconstruct a ``.npy`` array from a PyBlaz stream.
-``info``        Print the header, settings and ratio of a PyBlaz stream.
-``experiment``  Run one of the paper-reproduction experiments and print its table.
+``compress``          Compress a ``.npy`` array file into a PyBlaz stream.
+``decompress``        Reconstruct a ``.npy`` array from a PyBlaz stream.
+``stream-compress``   Compress a ``.npy`` file slab-by-slab (memmapped — the file
+                      is never fully loaded) into a chunked store.
+``stream-decompress`` Reconstruct a ``.npy`` array — or just a region of it —
+                      from a chunked store, one chunk at a time.
+``info``              Print the header, settings and ratio of a PyBlaz stream or
+                      chunked store.
+``experiment``        Run one of the paper-reproduction experiments and print its
+                      table.
 
 Examples
 --------
@@ -15,6 +21,8 @@ Examples
 
     repro compress input.npy output.pblz --block 4,4,4 --float float32 --index int16
     repro decompress output.pblz roundtrip.npy
+    repro stream-compress input.npy output.pblzc --block 4,4,4 --slab-rows 64 --workers 4
+    repro stream-decompress output.pblzc roundtrip.npy --region 0:32,:,:
     repro info output.pblz
     repro experiment table1
     repro experiment fig6
@@ -30,6 +38,8 @@ import numpy as np
 from . import experiments
 from .core import CompressionSettings, Compressor
 from .core.codec import compressed_size_bits, compression_ratio, load, save
+from .streaming import ChunkedCompressor, CompressedStore
+from .streaming.store import STORE_MAGIC
 
 __all__ = ["main", "build_parser"]
 
@@ -51,6 +61,24 @@ def _parse_block(text: str) -> tuple[int, ...]:
         return tuple(int(part) for part in text.split(",") if part.strip())
     except ValueError as exc:
         raise argparse.ArgumentTypeError(f"invalid block shape {text!r}") from exc
+
+
+def _parse_region(text: str) -> tuple:
+    """Parse a numpy-style region like ``0:32,:,4`` into a tuple of slices/ints."""
+    region = []
+    try:
+        for part in text.split(","):
+            part = part.strip()
+            if ":" in part:
+                pieces = [int(p) if p.strip() else None for p in part.split(":")]
+                if len(pieces) > 3:
+                    raise ValueError(part)
+                region.append(slice(*pieces))
+            else:
+                region.append(int(part))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid region {text!r}") from exc
+    return tuple(region)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,8 +104,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_decompress.add_argument("input", help="compressed stream")
     p_decompress.add_argument("output", help="output .npy file")
 
-    p_info = sub.add_parser("info", help="describe a compressed stream")
-    p_info.add_argument("input", help="compressed stream")
+    p_stream = sub.add_parser(
+        "stream-compress",
+        help="compress a .npy file slab-by-slab into a chunked store (out-of-core)",
+    )
+    p_stream.add_argument("input", help="input .npy file (memmapped, never fully loaded)")
+    p_stream.add_argument("output", help="output chunked store")
+    p_stream.add_argument("--block", type=_parse_block, default=(4, 4, 4),
+                          help="block shape, e.g. 4,4,4")
+    p_stream.add_argument("--float", dest="float_format", default="float32",
+                          choices=["bfloat16", "float16", "float32", "float64"])
+    p_stream.add_argument("--index", dest="index_dtype", default="int16",
+                          choices=["int8", "int16", "int32", "int64"])
+    p_stream.add_argument("--transform", default="dct", choices=["dct", "haar", "identity"])
+    p_stream.add_argument("--slab-rows", type=int, default=None,
+                          help="rows per slab (rounded up to a block-row multiple)")
+    p_stream.add_argument("--workers", type=int, default=1,
+                          help="worker processes compressing slabs concurrently")
+
+    p_unstream = sub.add_parser(
+        "stream-decompress",
+        help="decompress a chunked store (or a region of it) to .npy",
+    )
+    p_unstream.add_argument("input", help="chunked store")
+    p_unstream.add_argument("output", help="output .npy file")
+    p_unstream.add_argument("--region", type=_parse_region, default=None,
+                            help="numpy-style region, e.g. 0:32,:,4 "
+                                 "(only intersecting chunks are read)")
+
+    p_info = sub.add_parser("info", help="describe a compressed stream or chunked store")
+    p_info.add_argument("input", help="compressed stream or chunked store")
 
     p_exp = sub.add_parser("experiment", help="run a paper-reproduction experiment")
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
@@ -117,7 +173,77 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream_compress(args: argparse.Namespace) -> int:
+    array = np.load(args.input, mmap_mode="r")
+    block = args.block
+    if len(block) != array.ndim:
+        print(
+            f"error: block shape {block} does not match array dimensionality {array.ndim}",
+            file=sys.stderr,
+        )
+        return 2
+    settings = CompressionSettings(
+        block_shape=block,
+        float_format=args.float_format,
+        index_dtype=args.index_dtype,
+        transform=args.transform,
+    )
+    chunked = ChunkedCompressor(settings, slab_rows=args.slab_rows, n_workers=args.workers)
+    with chunked.compress_to_store(array, args.output) as store:
+        ratio = compression_ratio(
+            settings, array.shape, input_bits_per_element=array.dtype.itemsize * 8
+        )
+        print(f"stream-compressed {args.input} {array.shape} -> {args.output}")
+        print(f"settings: {settings.describe()}")
+        print(f"chunks: {store.n_chunks} (slab rows {chunked.slab_rows}, "
+              f"workers {chunked.n_workers})")
+        print(f"accounting ratio vs {array.dtype}: {ratio:.3f}")
+    return 0
+
+
+def _cmd_stream_decompress(args: argparse.Namespace) -> int:
+    with CompressedStore(args.input) as store:
+        if args.region is not None:
+            try:
+                array = store.load_region(args.region)
+            except (ValueError, IndexError) as exc:
+                print(f"error: invalid region for {store.shape}: {exc}", file=sys.stderr)
+                return 2
+            np.save(args.output, array)
+        else:
+            # chunk-at-a-time into a memmapped output: never materialises the array
+            out = np.lib.format.open_memmap(
+                args.output, mode="w+", dtype=np.float64, shape=store.shape
+            )
+            row = 0
+            for chunk in store.iter_chunks():
+                decompressed = Compressor(store.settings).decompress(chunk)
+                out[row : row + chunk.shape[0]] = decompressed
+                row += chunk.shape[0]
+            out.flush()
+            array = out
+        print(f"stream-decompressed {args.input} -> {args.output} {array.shape}")
+    return 0
+
+
+def _is_store(path) -> bool:
+    with open(path, "rb") as handle:
+        return handle.read(len(STORE_MAGIC)) == STORE_MAGIC
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
+    if _is_store(args.input):
+        with CompressedStore(args.input) as store:
+            print(f"shape: {store.shape}")
+            print(f"settings: {store.settings.describe()}")
+            print(f"chunks: {store.n_chunks} (rows per chunk: "
+                  f"{', '.join(map(str, store.chunk_rows))})")
+            print(f"stored bits (accounting): {compressed_size_bits(store.settings, store.shape)}")
+            print(
+                "compression ratio vs float64: "
+                f"{compression_ratio(store.settings, store.shape, input_bits_per_element=64):.3f}"
+            )
+        return 0
     compressed = load(args.input)
     settings = compressed.settings
     print(f"shape: {compressed.shape}")
@@ -145,6 +271,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "compress": _cmd_compress,
         "decompress": _cmd_decompress,
+        "stream-compress": _cmd_stream_compress,
+        "stream-decompress": _cmd_stream_decompress,
         "info": _cmd_info,
         "experiment": _cmd_experiment,
     }

@@ -19,7 +19,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["index_radius", "block_maxima", "bin_coefficients", "unbin_indices"]
+__all__ = [
+    "index_radius",
+    "block_maxima",
+    "scale_to_indices",
+    "bin_coefficients",
+    "unbin_indices",
+]
 
 
 def index_radius(index_dtype: np.dtype) -> int:
@@ -53,22 +59,23 @@ def block_maxima(coefficients: np.ndarray, block_ndim: int) -> np.ndarray:
     return np.abs(coefficients).max(axis=block_axes)
 
 
-def bin_coefficients(
+def scale_to_indices(
     coefficients: np.ndarray,
+    maxima: np.ndarray,
     block_ndim: int,
     index_dtype: np.dtype,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Bin blocked coefficients into integer indices.
+) -> np.ndarray:
+    """Map blocked coefficients to integer bin indices given their block maxima.
 
-    Returns ``(maxima, indices)`` where ``maxima`` has shape ``grid`` and ``indices``
-    has the same shape as ``coefficients`` with dtype ``index_dtype``.  Blocks whose
-    maximum is zero (all-zero blocks, e.g. pure padding) produce all-zero indices and
-    a recorded maximum of zero so that unbinning reproduces the zeros exactly.
+    This is the binning core shared by the vectorized path
+    (:func:`bin_coefficients`) and the chunked execution backends in
+    :mod:`repro.parallel`, so both stay bit-identical by construction.  ``maxima``
+    must be shaped like the leading (grid) axes of ``coefficients``.
     """
     dtype = np.dtype(index_dtype)
     radius = index_radius(dtype)
     coefficients = np.asarray(coefficients, dtype=np.float64)
-    maxima = block_maxima(coefficients, block_ndim)
+    maxima = np.asarray(maxima, dtype=np.float64)
     # Broadcast maxima over the block axes; guard zero maxima against division by zero.
     expand = maxima.reshape(maxima.shape + (1,) * block_ndim)
     safe = np.where(expand == 0.0, 1.0, expand)
@@ -82,7 +89,24 @@ def bin_coefficients(
     # largest exactly-representable value below the radius before casting
     limit = float(radius) if dtype.itemsize < 8 else float(2**63 - 1024)
     np.clip(indices, -limit, limit, out=indices)
-    indices = indices.astype(dtype)
+    return indices.astype(dtype)
+
+
+def bin_coefficients(
+    coefficients: np.ndarray,
+    block_ndim: int,
+    index_dtype: np.dtype,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bin blocked coefficients into integer indices.
+
+    Returns ``(maxima, indices)`` where ``maxima`` has shape ``grid`` and ``indices``
+    has the same shape as ``coefficients`` with dtype ``index_dtype``.  Blocks whose
+    maximum is zero (all-zero blocks, e.g. pure padding) produce all-zero indices and
+    a recorded maximum of zero so that unbinning reproduces the zeros exactly.
+    """
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    maxima = block_maxima(coefficients, block_ndim)
+    indices = scale_to_indices(coefficients, maxima, block_ndim, index_dtype)
     return maxima, indices
 
 

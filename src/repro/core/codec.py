@@ -35,6 +35,13 @@ __all__ = [
     "compressed_size_bits",
     "compression_ratio",
     "asymptotic_compression_ratio",
+    "pack_floats",
+    "unpack_floats",
+    "float_bytes",
+    "pack_type_codes",
+    "unpack_type_codes",
+    "pack_block_geometry",
+    "unpack_block_geometry",
     "serialize",
     "deserialize",
     "save",
@@ -122,7 +129,7 @@ def asymptotic_compression_ratio(
 
 
 # --------------------------------------------------------------------------- float packing
-def _pack_floats(values: np.ndarray, fmt: FloatFormat) -> bytes:
+def pack_floats(values: np.ndarray, fmt: FloatFormat) -> bytes:
     """Pack float64 values into the working format's storage width."""
     values = np.asarray(values, dtype=np.float64).ravel()
     if fmt.name == "float64":
@@ -139,8 +146,8 @@ def _pack_floats(values: np.ndarray, fmt: FloatFormat) -> bytes:
     raise ValueError(f"unsupported float format {fmt}")  # pragma: no cover - defensive
 
 
-def _unpack_floats(data: bytes, count: int, fmt: FloatFormat) -> np.ndarray:
-    """Inverse of :func:`_pack_floats`, returning float64 values."""
+def unpack_floats(data: bytes, count: int, fmt: FloatFormat) -> np.ndarray:
+    """Inverse of :func:`pack_floats`, returning float64 values."""
     if fmt.name == "float64":
         return np.frombuffer(data, dtype="<f8", count=count).astype(np.float64)
     if fmt.name == "float32":
@@ -154,8 +161,76 @@ def _unpack_floats(data: bytes, count: int, fmt: FloatFormat) -> np.ndarray:
     raise ValueError(f"unsupported float format {fmt}")  # pragma: no cover - defensive
 
 
-def _float_bytes(count: int, fmt: FloatFormat) -> int:
+def float_bytes(count: int, fmt: FloatFormat) -> int:
+    """Byte length of ``count`` packed values in format ``fmt``."""
     return count * (fmt.storage_bits // 8)
+
+
+# --------------------------------------------------------------------------- settings packing
+# These pieces are shared between the one-shot stream format (v2, below) and the
+# chunked :class:`repro.streaming.CompressedStore` format, which interleaves its own
+# chunk table but reuses the identical settings encoding.
+def pack_type_codes(settings: CompressionSettings, ndim: int) -> bytes:
+    """Pack the float/index/transform type codes and dimensionality (4 bytes)."""
+    return struct.pack(
+        "<BBBB",
+        _FLOAT_CODES[settings.float_format.name],
+        _INDEX_CODES[settings.index_dtype.name],
+        _TRANSFORM_CODES[settings.transform],
+        ndim,
+    )
+
+
+def unpack_type_codes(data: bytes, offset: int) -> tuple[FloatFormat, np.dtype, str, int, int]:
+    """Inverse of :func:`pack_type_codes`.
+
+    Returns ``(float_format, index_dtype, transform, ndim, new_offset)``.
+    """
+    float_code, index_code, transform_code, ndim = struct.unpack_from("<BBBB", data, offset)
+    return (
+        _FLOAT_BY_CODE[float_code],
+        _INDEX_BY_CODE[index_code],
+        _TRANSFORM_BY_CODE[transform_code],
+        ndim,
+        offset + 4,
+    )
+
+
+def pack_block_geometry(settings: CompressionSettings) -> bytes:
+    """Pack the block shape and pruning mask (the data-independent geometry)."""
+    ndim = settings.ndim
+    out = struct.pack(f"<{ndim}Q", *settings.block_shape)
+    mask_bits = np.packbits(settings.mask.ravel().astype(np.uint8))
+    out += struct.pack("<I", mask_bits.size)
+    out += mask_bits.tobytes()
+    return out
+
+
+def unpack_block_geometry(
+    data: bytes,
+    offset: int,
+    ndim: int,
+    float_format: FloatFormat,
+    index_dtype: np.dtype,
+    transform: str,
+) -> tuple[CompressionSettings, int]:
+    """Inverse of :func:`pack_block_geometry`; rebuilds the full settings object."""
+    block_shape = struct.unpack_from(f"<{ndim}Q", data, offset)
+    offset += 8 * ndim
+    (mask_nbytes,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    mask_bits = np.frombuffer(data, dtype=np.uint8, count=mask_nbytes, offset=offset)
+    offset += mask_nbytes
+    block_size = int(np.prod(block_shape))
+    mask = np.unpackbits(mask_bits, count=block_size).astype(bool).reshape(block_shape)
+    settings = CompressionSettings(
+        block_shape=block_shape,
+        float_format=float_format,
+        index_dtype=index_dtype,
+        transform=transform,
+        pruning_mask=None if mask.all() else mask,
+    )
+    return settings, offset
 
 
 # --------------------------------------------------------------------------- serialization
@@ -165,22 +240,13 @@ def serialize(compressed: CompressedArray) -> bytes:
     ndim = settings.ndim
     header = bytearray()
     header += _MAGIC
-    header += struct.pack(
-        "<BBBBB",
-        _VERSION,
-        _FLOAT_CODES[settings.float_format.name],
-        _INDEX_CODES[settings.index_dtype.name],
-        _TRANSFORM_CODES[settings.transform],
-        ndim,
-    )
+    header += struct.pack("<B", _VERSION)
+    header += pack_type_codes(settings, ndim)
     header += struct.pack(f"<{ndim}Q", *compressed.shape)
-    header += struct.pack(f"<{ndim}Q", *settings.block_shape)
-    mask_bits = np.packbits(settings.mask.ravel().astype(np.uint8))
-    header += struct.pack("<I", mask_bits.size)
-    header += mask_bits.tobytes()
+    header += pack_block_geometry(settings)
 
     payload = bytearray()
-    payload += _pack_floats(compressed.maxima, settings.float_format)
+    payload += pack_floats(compressed.maxima, settings.float_format)
     payload += np.ascontiguousarray(
         compressed.indices, dtype=settings.index_dtype.newbyteorder("<")
     ).tobytes()
@@ -189,41 +255,31 @@ def serialize(compressed: CompressedArray) -> bytes:
 
 def deserialize(data: bytes) -> CompressedArray:
     """Reconstruct a :class:`CompressedArray` from bytes produced by :func:`serialize`."""
+    if data[:5] == _MAGIC + b"C":
+        # the chunked-store magic "PBLZC" shares this format's "PBLZ" prefix;
+        # catch it here so the error names the right tool instead of reporting a
+        # bogus version number
+        raise ValueError(
+            "this is a PyBlaz chunked store; open it with "
+            "repro.streaming.CompressedStore (CLI: stream-decompress)"
+        )
     if data[:4] != _MAGIC:
         raise ValueError("not a PyBlaz compressed stream (bad magic)")
     offset = 4
-    version, float_code, index_code, transform_code, ndim = struct.unpack_from(
-        "<BBBBB", data, offset
-    )
-    offset += 5
+    (version,) = struct.unpack_from("<B", data, offset)
+    offset += 1
     if version != _VERSION:
         raise ValueError(f"unsupported stream version {version}")
+    float_format, index_dtype, transform, ndim, offset = unpack_type_codes(data, offset)
     shape = struct.unpack_from(f"<{ndim}Q", data, offset)
     offset += 8 * ndim
-    block_shape = struct.unpack_from(f"<{ndim}Q", data, offset)
-    offset += 8 * ndim
-    (mask_nbytes,) = struct.unpack_from("<I", data, offset)
-    offset += 4
-    mask_bits = np.frombuffer(data, dtype=np.uint8, count=mask_nbytes, offset=offset)
-    offset += mask_nbytes
-    block_size = int(np.prod(block_shape))
-    mask = np.unpackbits(mask_bits, count=block_size).astype(bool).reshape(block_shape)
-
-    float_format = _FLOAT_BY_CODE[float_code]
-    index_dtype = _INDEX_BY_CODE[index_code]
-    transform = _TRANSFORM_BY_CODE[transform_code]
-    pruning_mask = None if mask.all() else mask
-    settings = CompressionSettings(
-        block_shape=block_shape,
-        float_format=float_format,
-        index_dtype=index_dtype,
-        transform=transform,
-        pruning_mask=pruning_mask,
+    settings, offset = unpack_block_geometry(
+        data, offset, ndim, float_format, index_dtype, transform
     )
 
     n_blocks = settings.n_blocks(shape)
-    maxima_nbytes = _float_bytes(n_blocks, float_format)
-    maxima = _unpack_floats(data[offset : offset + maxima_nbytes], n_blocks, float_format)
+    maxima_nbytes = float_bytes(n_blocks, float_format)
+    maxima = unpack_floats(data[offset : offset + maxima_nbytes], n_blocks, float_format)
     offset += maxima_nbytes
     maxima = maxima.reshape(settings.block_grid_shape(shape))
 

@@ -19,6 +19,7 @@ along every block axis of a ``(grid..., block...)``-shaped array produced by
 
 from __future__ import annotations
 
+import string
 from functools import lru_cache
 from typing import Sequence
 
@@ -142,13 +143,21 @@ class Transform:
             )
         result = blocked
         lead = blocked.ndim - ndim
+        axis_letters = string.ascii_lowercase[: blocked.ndim]
         for axis_offset, matrix in enumerate(matrices):
             axis = lead + axis_offset
             # Contract this block axis with the matrix: result[..., k, ...] =
-            # sum_n matrix[k, n] * result[..., n, ...]
-            result = np.tensordot(result, matrix, axes=([axis], [1]))
-            # tensordot moves the contracted axis to the end; move it back in place
-            result = np.moveaxis(result, -1, axis)
+            # sum_n matrix[k, n] * result[..., n, ...].  einsum with optimize=False
+            # never dispatches to BLAS, whose kernel choice depends on the batch
+            # size; the per-element summation order here is fixed, so transforming
+            # any subset of blocks is bit-identical to transforming them all at
+            # once — the invariant the streaming compressor's exactness rests on.
+            operand = list(axis_letters)
+            operand[axis] = "B"
+            output = list(axis_letters)
+            output[axis] = "A"
+            subscripts = f"{''.join(operand)},AB->{''.join(output)}"
+            result = np.einsum(subscripts, result, matrix, optimize=False)
         return result
 
     def forward(self, blocked: np.ndarray) -> np.ndarray:

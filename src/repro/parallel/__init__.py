@@ -11,6 +11,10 @@ subpackage provides the analogous execution substrate for the numpy backend:
 * :class:`ThreadedExecutor` — splits the block grid into chunks dispatched to a
   thread pool.  numpy releases the GIL inside its inner loops, so large arrays gain
   real concurrency; results are bit-identical to the serial path.
+* :class:`ProcessExecutor` — dispatches chunks to worker processes, sidestepping
+  the GIL at the cost of pickling chunks across the process boundary; also used by
+  :class:`repro.streaming.ChunkedCompressor` to fan slab compression out across
+  workers.
 * :class:`LoopExecutor` — a deliberately slow pure-Python per-block loop, used by the
   ablation benchmarks as the "single-threaded Blaz-style" reference point.
 
@@ -19,12 +23,20 @@ All executors implement the two hooks the compressor calls:
 ``inverse_transform(coefficients, transform, settings)``.
 """
 
-from .executors import BlockExecutor, LoopExecutor, SerialExecutor, ThreadedExecutor, chunk_slices
+from .executors import (
+    BlockExecutor,
+    LoopExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    chunk_slices,
+)
 
 __all__ = [
     "BlockExecutor",
     "SerialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
     "LoopExecutor",
     "chunk_slices",
 ]

@@ -1,0 +1,38 @@
+"""Out-of-core streaming compression (the scaling substrate of the ROADMAP).
+
+The core :class:`repro.core.Compressor` requires the whole array in memory.  This
+subpackage removes that restriction by exploiting the pipeline's block independence:
+every step after blocking (transform, binning, pruning) treats blocks independently,
+so an array split into *block-aligned slabs along axis 0* can be compressed slab by
+slab and the per-slab results concatenated into a representation **bit-identical**
+to one-shot compression — the streaming analogue of the block-decomposed speedups
+of the related SOM-acceleration work (PAPERS.md).
+
+Three layers:
+
+* :class:`ChunkedCompressor` — consumes an in-memory array, a ``np.memmap``, or a
+  generator of slabs, re-aligns slab boundaries to block multiples, compresses each
+  slab with the existing :class:`repro.core.Compressor` (optionally fanned out
+  across worker processes), and assembles an exact :class:`repro.core.CompressedArray`.
+* :class:`CompressedStore` / :class:`CompressedStoreWriter` — an on-disk format
+  with a chunk table, so slabs append incrementally and sub-regions decompress
+  selectively (:func:`load_region`) without materialising the whole index array.
+* :func:`stream_mean` / :func:`stream_l2_norm` / :func:`stream_dot` — compressed-
+  space reductions that fold chunk-by-chunk over a store, reusing
+  :mod:`repro.core.ops` so no full decompression (or even full compressed array)
+  is ever held in memory.
+"""
+
+from .chunked import ChunkedCompressor
+from .reductions import stream_dot, stream_l2_norm, stream_mean
+from .store import CompressedStore, CompressedStoreWriter, load_region
+
+__all__ = [
+    "ChunkedCompressor",
+    "CompressedStore",
+    "CompressedStoreWriter",
+    "load_region",
+    "stream_mean",
+    "stream_l2_norm",
+    "stream_dot",
+]

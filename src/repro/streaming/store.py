@@ -1,0 +1,363 @@
+"""The chunked on-disk store: append slabs incrementally, decompress selectively.
+
+The one-shot format of :mod:`repro.core.codec` serializes a whole compressed array
+as ``header + maxima + indices``, which forces both the writer and the reader to
+materialise everything at once.  The store format keeps the identical settings
+encoding (reusing the codec's packing primitives) but splits the payload into
+*chunk records* — one per block-aligned slab along axis 0 — and ends the file with
+a chunk table, so that
+
+* a writer can append slabs as they are produced, never holding more than one
+  slab's compressed form in memory, and
+* a reader can seek straight to the chunks intersecting a requested region and
+  decode only those (:meth:`CompressedStore.load_region`), never allocating the
+  full index array.
+
+Layout (all little-endian)::
+
+    "PBLZC"  u8 version
+    type codes (4 B)  block shape (ndim × u64)  mask (u32 length + bits)
+    chunk 0 record: maxima bytes, indices bytes
+    chunk 1 record: ...
+    ...
+    footer: u64 n_chunks, n_chunks × (u64 offset, u64 n_rows),
+            ndim × u64 full shape, u64 footer offset, "PBLZE"
+
+Chunk record sizes are not self-delimited; they are derivable from the settings and
+the chunk's row count, which the table stores.  Every chunk except the last must
+cover a whole number of block rows, so chunk block grids stack exactly along grid
+axis 0 and concatenating chunk payloads reproduces the one-shot compressed array
+bit for bit.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..core.codec import (
+    float_bytes,
+    pack_block_geometry,
+    pack_floats,
+    pack_type_codes,
+    unpack_block_geometry,
+    unpack_floats,
+    unpack_type_codes,
+)
+from ..core.compressed import CompressedArray
+from ..core.compressor import Compressor
+from ..core.settings import CompressionSettings
+
+__all__ = ["CompressedStore", "CompressedStoreWriter", "load_region", "STORE_MAGIC"]
+
+STORE_MAGIC = b"PBLZC"
+_END_MAGIC = b"PBLZE"
+_STORE_VERSION = 1
+#: Trailer = footer offset (u64) + end magic; read first to locate the chunk table.
+_TRAILER_BYTES = 8 + len(_END_MAGIC)
+
+
+def _check_chunk_settings(store_settings: CompressionSettings, chunk: CompressedArray) -> None:
+    if not store_settings.is_compatible_with(chunk.settings) or (
+        store_settings.float_format.name != chunk.settings.float_format.name
+    ):
+        raise ValueError(
+            f"chunk settings ({chunk.settings.describe()}) do not match store "
+            f"settings ({store_settings.describe()})"
+        )
+
+
+class CompressedStoreWriter:
+    """Incrementally writes compressed slabs into a chunked store file.
+
+    Parameters
+    ----------
+    path:
+        Output file path.
+    settings:
+        The :class:`CompressionSettings` every appended chunk must share.
+
+    Usable as a context manager; :meth:`finalize` (or leaving the ``with`` block)
+    writes the chunk table and makes the file readable.
+    """
+
+    def __init__(self, path, settings: CompressionSettings):
+        self.path = Path(path)
+        self.settings = settings
+        self._handle = open(self.path, "wb")
+        self._chunks: list[tuple[int, int]] = []  # (offset, n_rows)
+        self._tail_shape: tuple[int, ...] | None = None
+        self._ragged = False
+        self._finalized = False
+        header = STORE_MAGIC + struct.pack("<B", _STORE_VERSION)
+        header += pack_type_codes(settings, settings.ndim)
+        header += pack_block_geometry(settings)
+        self._handle.write(header)
+
+    # ------------------------------------------------------------------ writing
+    def append(self, chunk: CompressedArray) -> None:
+        """Append one compressed slab (rows along axis 0 of the eventual array).
+
+        Every chunk but the last must span a whole number of block rows; appending
+        after a ragged (non-multiple) chunk is therefore an error.
+        """
+        if self._finalized:
+            raise ValueError("cannot append to a finalized store")
+        _check_chunk_settings(self.settings, chunk)
+        if self._ragged:
+            raise ValueError(
+                "a chunk with a partial block row was already appended; only the "
+                "final chunk may have a row count that is not a multiple of the "
+                f"block extent {self.settings.block_shape[0]}"
+            )
+        if self._tail_shape is None:
+            self._tail_shape = chunk.shape[1:]
+        elif chunk.shape[1:] != self._tail_shape:
+            raise ValueError(
+                f"chunk trailing shape {chunk.shape[1:]} does not match the "
+                f"store's trailing shape {self._tail_shape}"
+            )
+        n_rows = chunk.shape[0]
+        if n_rows % self.settings.block_shape[0] != 0:
+            self._ragged = True
+        offset = self._handle.tell()
+        self._handle.write(pack_floats(chunk.maxima, self.settings.float_format))
+        self._handle.write(
+            np.ascontiguousarray(
+                chunk.indices, dtype=self.settings.index_dtype.newbyteorder("<")
+            ).tobytes()
+        )
+        self._chunks.append((offset, n_rows))
+
+    def finalize(self) -> None:
+        """Write the chunk table and close the file."""
+        if self._finalized:
+            return
+        if not self._chunks:
+            self._handle.close()
+            raise ValueError("cannot finalize an empty store (no chunks appended)")
+        footer_offset = self._handle.tell()
+        footer = struct.pack("<Q", len(self._chunks))
+        for offset, n_rows in self._chunks:
+            footer += struct.pack("<QQ", offset, n_rows)
+        shape = (sum(rows for _, rows in self._chunks),) + self._tail_shape
+        footer += struct.pack(f"<{len(shape)}Q", *shape)
+        footer += struct.pack("<Q", footer_offset)
+        footer += _END_MAGIC
+        self._handle.write(footer)
+        self._handle.close()
+        self._finalized = True
+
+    # ------------------------------------------------------------------ context manager
+    def __enter__(self) -> "CompressedStoreWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.finalize()
+        else:  # leave a diagnosable partial file rather than masking the error
+            self._handle.close()
+
+
+class CompressedStore:
+    """Read-only view of a chunked store file.
+
+    Chunks are read lazily: opening the store parses only the settings header and
+    the chunk table.  :attr:`chunks_read` counts how many chunk records have been
+    decoded, which the tests use to assert that region reads stay selective.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._handle = open(self.path, "rb")
+        self.chunks_read = 0
+        try:
+            self._read_header_and_table()
+        except Exception:
+            self._handle.close()
+            raise
+
+    def _read_header_and_table(self) -> None:
+        head = self._handle.read(len(STORE_MAGIC) + 1)
+        if head[: len(STORE_MAGIC)] != STORE_MAGIC:
+            raise ValueError("not a PyBlaz chunked store (bad magic)")
+        (version,) = struct.unpack("<B", head[len(STORE_MAGIC) :])
+        if version != _STORE_VERSION:
+            raise ValueError(f"unsupported store version {version}")
+        # settings header: type codes + block geometry (identical encoding to the
+        # one-shot codec, minus the array shape, which lives in the footer)
+        fixed = self._handle.read(4)
+        float_format, index_dtype, transform, ndim, _ = unpack_type_codes(fixed, 0)
+        geometry = self._handle.read(8 * ndim + 4)
+        (mask_nbytes,) = struct.unpack_from("<I", geometry, 8 * ndim)
+        geometry += self._handle.read(mask_nbytes)
+        self.settings, _ = unpack_block_geometry(
+            geometry, 0, ndim, float_format, index_dtype, transform
+        )
+
+        self._handle.seek(-_TRAILER_BYTES, 2)
+        trailer = self._handle.read(_TRAILER_BYTES)
+        if trailer[8:] != _END_MAGIC:
+            raise ValueError("truncated or unfinalized PyBlaz chunked store (bad trailer)")
+        (footer_offset,) = struct.unpack_from("<Q", trailer, 0)
+        self._handle.seek(footer_offset)
+        footer = self._handle.read()
+        (n_chunks,) = struct.unpack_from("<Q", footer, 0)
+        pos = 8
+        self._chunks: list[tuple[int, int, int]] = []  # (offset, n_rows, row_start)
+        row_start = 0
+        for _ in range(n_chunks):
+            offset, n_rows = struct.unpack_from("<QQ", footer, pos)
+            pos += 16
+            self._chunks.append((offset, n_rows, row_start))
+            row_start += n_rows
+        self.shape = tuple(struct.unpack_from(f"<{ndim}Q", footer, pos))
+        if self.shape[0] != row_start:
+            raise ValueError(
+                f"corrupt chunk table: chunk rows sum to {row_start}, "
+                f"stored shape is {self.shape}"
+            )
+
+    # ------------------------------------------------------------------ geometry
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def chunk_rows(self) -> tuple[int, ...]:
+        """Row count of every chunk, in file order."""
+        return tuple(rows for _, rows, _ in self._chunks)
+
+    # ------------------------------------------------------------------ chunk access
+    def read_chunk(self, index: int) -> CompressedArray:
+        """Decode chunk ``index`` into a :class:`CompressedArray` of its slab."""
+        offset, n_rows, _ = self._chunks[index]
+        settings = self.settings
+        chunk_shape = (n_rows,) + self.shape[1:]
+        n_blocks = settings.n_blocks(chunk_shape)
+        maxima_nbytes = float_bytes(n_blocks, settings.float_format)
+        indices_nbytes = n_blocks * settings.kept_per_block * settings.index_dtype.itemsize
+        self._handle.seek(offset)
+        data = self._handle.read(maxima_nbytes + indices_nbytes)
+        maxima = unpack_floats(data[:maxima_nbytes], n_blocks, settings.float_format)
+        maxima = maxima.reshape(settings.block_grid_shape(chunk_shape))
+        indices = np.frombuffer(
+            data,
+            dtype=settings.index_dtype.newbyteorder("<"),
+            count=n_blocks * settings.kept_per_block,
+            offset=maxima_nbytes,
+        )
+        indices = indices.astype(settings.index_dtype).reshape(
+            n_blocks, settings.kept_per_block
+        )
+        self.chunks_read += 1
+        return CompressedArray(
+            settings=settings, shape=chunk_shape, maxima=maxima, indices=indices
+        )
+
+    def iter_chunks(self) -> Iterator[CompressedArray]:
+        """Yield every chunk's :class:`CompressedArray` in row order."""
+        for index in range(self.n_chunks):
+            yield self.read_chunk(index)
+
+    def load_compressed(self) -> CompressedArray:
+        """Assemble the full :class:`CompressedArray` (bit-identical to one-shot)."""
+        chunks = list(self.iter_chunks())
+        maxima = np.concatenate([chunk.maxima for chunk in chunks], axis=0)
+        indices = np.concatenate([chunk.indices for chunk in chunks], axis=0)
+        return CompressedArray(
+            settings=self.settings, shape=self.shape, maxima=maxima, indices=indices
+        )
+
+    # ------------------------------------------------------------------ decompression
+    def load(self) -> np.ndarray:
+        """Decompress the whole array, one chunk at a time."""
+        out = np.empty(self.shape, dtype=np.float64)
+        for (_, n_rows, row_start), chunk in zip(self._chunks, self.iter_chunks()):
+            out[row_start : row_start + n_rows] = Compressor(self.settings).decompress(chunk)
+        return out
+
+    def load_region(self, region) -> np.ndarray:
+        """Decompress only the chunks intersecting ``region``.
+
+        ``region`` is an index expression like ``np.ndarray`` accepts for basic
+        indexing — a slice/int or a tuple of them, at most one per dimension
+        (missing trailing dimensions default to ``slice(None)``).  Steps along
+        axis 0 must be positive.  Only the chunk records whose rows intersect the
+        axis-0 range are read and decoded; memory use is bounded by the chunk
+        size, not the array size.
+        """
+        if not isinstance(region, tuple):
+            region = (region,)
+        if len(region) > self.ndim:
+            raise ValueError(
+                f"region has {len(region)} dimensions, the store has {self.ndim}"
+            )
+        region = region + (slice(None),) * (self.ndim - len(region))
+
+        first = region[0]
+        squeeze_rows = isinstance(first, (int, np.integer))
+        if squeeze_rows:
+            index = int(first)
+            if index < 0:
+                index += self.shape[0]
+            if not 0 <= index < self.shape[0]:
+                raise IndexError(f"row {first} out of range for {self.shape[0]} rows")
+            start, stop, step = index, index + 1, 1
+        else:
+            start, stop, step = first.indices(self.shape[0])
+            if step <= 0:
+                raise ValueError("load_region requires a positive step along axis 0")
+
+        parts = []
+        for chunk_index, (_, n_rows, row_start) in enumerate(self._chunks):
+            row_end = row_start + n_rows
+            if row_end <= start or row_start >= stop:
+                continue
+            # first requested row that lands inside this chunk and on the step grid
+            global_first = max(start, row_start)
+            remainder = (global_first - start) % step
+            if remainder:
+                global_first += step - remainder
+            global_stop = min(stop, row_end)
+            if global_first >= global_stop:
+                continue
+            chunk = self.read_chunk(chunk_index)
+            decompressed = Compressor(self.settings).decompress(chunk)
+            local = slice(global_first - row_start, global_stop - row_start, step)
+            parts.append(decompressed[(local,) + region[1:]])
+
+        if parts:
+            assembled = np.concatenate(parts, axis=0)
+        else:
+            empty_rows = (0,) + self.shape[1:]
+            assembled = np.empty(empty_rows, dtype=np.float64)[(slice(None),) + region[1:]]
+        return assembled[0] if squeeze_rows else assembled
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "CompressedStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompressedStore(shape={self.shape}, chunks={self.n_chunks}, "
+            f"{self.settings.describe()})"
+        )
+
+
+def load_region(store: CompressedStore, region) -> np.ndarray:
+    """Module-level convenience for :meth:`CompressedStore.load_region`."""
+    return store.load_region(region)

@@ -1,0 +1,56 @@
+"""Regenerate the golden-file fixtures for the codec format-stability test.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/data/make_golden.py
+
+This should only ever be run when the stream format version is deliberately
+bumped; the whole point of the fixture is that ordinary changes must NOT alter
+the bytes ``serialize`` produces for version-2 streams, and the accompanying
+test fails loudly if they do.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import CompressionSettings, Compressor, low_frequency_mask
+from repro.core.codec import save
+
+DATA_DIR = Path(__file__).parent
+
+
+def golden_input() -> np.ndarray:
+    """A fixed 10×12 field whose shape forces padding in both dimensions."""
+    rows = np.arange(10, dtype=np.float64).reshape(-1, 1)
+    cols = np.arange(12, dtype=np.float64).reshape(1, -1)
+    return 0.25 * rows - 0.125 * cols + 0.0625 * rows * cols - 3.0
+
+
+def golden_settings() -> CompressionSettings:
+    return CompressionSettings(
+        block_shape=(4, 4),
+        float_format="float32",
+        index_dtype="int16",
+        transform="dct",
+        pruning_mask=low_frequency_mask((4, 4), 0.5),
+    )
+
+
+def main() -> None:
+    compressed = Compressor(golden_settings()).compress(golden_input())
+    save(compressed, DATA_DIR / "golden_v2.pyblaz")
+    np.savez(
+        DATA_DIR / "golden_v2_expected.npz",
+        shape=np.asarray(compressed.shape, dtype=np.int64),
+        maxima=compressed.maxima,
+        indices=compressed.indices,
+        decompressed=Compressor(golden_settings()).decompress(compressed),
+    )
+    print(f"wrote golden_v2.pyblaz ({(DATA_DIR / 'golden_v2.pyblaz').stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

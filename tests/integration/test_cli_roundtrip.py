@@ -1,0 +1,133 @@
+"""End-to-end CLI roundtrips in a temp directory: exit codes, stdout, error paths.
+
+These drive ``repro.cli.main`` exactly as the console script would, covering the
+``compress → info → decompress`` cycle, the new streaming subcommands, and the
+error branches (dimension mismatch returns exit code 2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from tests.conftest import smooth_field
+
+
+@pytest.fixture
+def field() -> np.ndarray:
+    return smooth_field((24, 20), seed=9)
+
+
+@pytest.fixture
+def npy_in(tmp_path, field):
+    path = tmp_path / "in.npy"
+    np.save(path, field)
+    return path
+
+
+class TestOneShotRoundtrip:
+    def test_compress_info_decompress_cycle(self, tmp_path, npy_in, field, capsys):
+        stream = tmp_path / "out.pblz"
+        npy_out = tmp_path / "back.npy"
+
+        assert main(["compress", str(npy_in), str(stream), "--block", "4,4",
+                     "--float", "float32", "--index", "int16"]) == 0
+        out = capsys.readouterr().out
+        assert "compressed" in out and "settings:" in out and "ratio" in out
+        assert stream.exists() and stream.stat().st_size > 0
+
+        assert main(["info", str(stream)]) == 0
+        info_out = capsys.readouterr().out
+        assert "shape: (24, 20)" in info_out
+        assert "blocks:" in info_out
+        assert "compression ratio" in info_out
+
+        assert main(["decompress", str(stream), str(npy_out)]) == 0
+        assert "decompressed" in capsys.readouterr().out
+        restored = np.load(npy_out)
+        assert restored.shape == field.shape
+        assert np.abs(restored - field).max() < 1e-2
+
+    def test_dimension_mismatch_returns_2(self, tmp_path, npy_in, capsys):
+        code = main(["compress", str(npy_in), str(tmp_path / "o.pblz"), "--block", "4,4,4"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error" in err and "dimensionality" in err
+
+
+class TestStreamingRoundtrip:
+    def test_stream_compress_info_decompress_cycle(self, tmp_path, npy_in, field, capsys):
+        store = tmp_path / "out.pblzc"
+        npy_out = tmp_path / "back.npy"
+
+        assert main(["stream-compress", str(npy_in), str(store), "--block", "4,4",
+                     "--slab-rows", "8", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "stream-compressed" in out
+        assert "chunks: 3" in out  # ceil(24 / 8)
+        assert "ratio" in out
+
+        assert main(["info", str(store)]) == 0
+        info_out = capsys.readouterr().out
+        assert "shape: (24, 20)" in info_out
+        assert "chunks: 3" in info_out
+        assert "rows per chunk: 8, 8, 8" in info_out
+
+        assert main(["stream-decompress", str(store), str(npy_out)]) == 0
+        assert "stream-decompressed" in capsys.readouterr().out
+        restored = np.load(npy_out)
+        assert restored.shape == field.shape
+        assert np.abs(restored - field).max() < 1e-2
+
+    def test_streaming_matches_one_shot_bytes_for_payload(self, tmp_path, npy_in, field,
+                                                          capsys):
+        """The streamed store decompresses bit-identically to the one-shot stream."""
+        stream = tmp_path / "a.pblz"
+        store = tmp_path / "a.pblzc"
+        one_shot = tmp_path / "one.npy"
+        streamed = tmp_path / "two.npy"
+        assert main(["compress", str(npy_in), str(stream), "--block", "4,4"]) == 0
+        assert main(["stream-compress", str(npy_in), str(store), "--block", "4,4",
+                     "--slab-rows", "7"]) == 0
+        assert main(["decompress", str(stream), str(one_shot)]) == 0
+        assert main(["stream-decompress", str(store), str(streamed)]) == 0
+        capsys.readouterr()
+        assert np.array_equal(np.load(one_shot), np.load(streamed))
+
+    def test_region_decompress(self, tmp_path, npy_in, field, capsys):
+        store = tmp_path / "out.pblzc"
+        region_out = tmp_path / "region.npy"
+        assert main(["stream-compress", str(npy_in), str(store), "--block", "4,4",
+                     "--slab-rows", "8"]) == 0
+        assert main(["stream-decompress", str(store), str(region_out),
+                     "--region", "4:12,3:17"]) == 0
+        capsys.readouterr()
+        region = np.load(region_out)
+        assert region.shape == (8, 14)
+        assert np.abs(region - field[4:12, 3:17]).max() < 1e-2
+
+    def test_stream_dimension_mismatch_returns_2(self, tmp_path, npy_in, capsys):
+        code = main(["stream-compress", str(npy_in), str(tmp_path / "o.pblzc"),
+                     "--block", "4,4,4"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error" in err and "dimensionality" in err
+
+    def test_invalid_regions_return_2(self, tmp_path, npy_in, capsys):
+        store = tmp_path / "out.pblzc"
+        assert main(["stream-compress", str(npy_in), str(store), "--block", "4,4"]) == 0
+        for region in ("1:2,:,:", "::-1", "99"):  # rank, negative step, out of range
+            code = main(["stream-decompress", str(store), str(tmp_path / "r.npy"),
+                         "--region", region])
+            assert code == 2, region
+            assert "error" in capsys.readouterr().err
+
+    def test_info_distinguishes_formats(self, tmp_path, npy_in, capsys):
+        stream = tmp_path / "a.pblz"
+        store = tmp_path / "a.pblzc"
+        assert main(["compress", str(npy_in), str(stream), "--block", "4,4"]) == 0
+        assert main(["stream-compress", str(npy_in), str(store), "--block", "4,4"]) == 0
+        capsys.readouterr()
+        assert main(["info", str(stream)]) == 0
+        assert "blocks:" in capsys.readouterr().out
+        assert main(["info", str(store)]) == 0
+        assert "chunks:" in capsys.readouterr().out

@@ -1,0 +1,81 @@
+"""Randomized save/load roundtrips across the full settings grid.
+
+Every combination of transform × float format × index dtype must survive a trip
+through the on-disk format, including odd shapes that force padding in one or
+both dimensions, with the structural contents (``maxima``, ``indices``) preserved
+exactly — the file format stores the working-precision values losslessly.
+"""
+
+import os
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.core import CompressionSettings, Compressor, low_frequency_mask
+from repro.core.codec import load, save
+
+
+@st.composite
+def roundtrip_case(draw):
+    """An array (odd shapes included) plus settings drawn from the full grid."""
+    transform = draw(st.sampled_from(["dct", "haar", "identity"]))
+    float_format = draw(st.sampled_from(["bfloat16", "float16", "float32", "float64"]))
+    index_dtype = draw(st.sampled_from(["int8", "int16", "int32", "int64"]))
+    block = draw(st.sampled_from([(2, 2), (4, 4), (4, 8), (8, 2)]))
+    # odd shapes force padding; multiples exercise the exact-tiling path
+    rows = draw(st.integers(1, 21))
+    cols = draw(st.integers(1, 21))
+    prune = draw(st.booleans())
+    mask = low_frequency_mask(block, 0.5) if prune else None
+    settings = CompressionSettings(
+        block_shape=block,
+        float_format=float_format,
+        index_dtype=index_dtype,
+        transform=transform,
+        pruning_mask=mask,
+    )
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    array = np.cumsum(np.cumsum(rng.standard_normal((rows, cols)), axis=0), axis=1) * 0.01
+    return array, settings
+
+
+class TestSaveLoadRoundtrip:
+    @given(case=roundtrip_case())
+    @hyp_settings(max_examples=60, deadline=None)
+    def test_roundtrip_preserves_structure_exactly(self, case):
+        array, settings = case
+        compressed = Compressor(settings).compress(array)
+        handle, path = tempfile.mkstemp(suffix=".pyblaz")
+        os.close(handle)
+        try:
+            save(compressed, path)
+            restored = load(path)
+        finally:
+            os.unlink(path)
+        assert restored.shape == compressed.shape
+        assert restored.settings.is_compatible_with(compressed.settings)
+        assert restored.settings.float_format.name == settings.float_format.name
+        assert restored.allclose(compressed)
+        # stronger than allclose: the stored working-precision values are exact
+        assert np.array_equal(restored.maxima, compressed.maxima)
+        assert np.array_equal(restored.indices, compressed.indices)
+        assert restored.indices.dtype == compressed.indices.dtype
+
+    @given(case=roundtrip_case())
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_roundtrip_decompresses_identically(self, case):
+        array, settings = case
+        compressor = Compressor(settings)
+        compressed = compressor.compress(array)
+        handle, path = tempfile.mkstemp(suffix=".pyblaz")
+        os.close(handle)
+        try:
+            save(compressed, path)
+            restored = load(path)
+        finally:
+            os.unlink(path)
+        assert np.array_equal(
+            compressor.decompress(restored), compressor.decompress(compressed)
+        )

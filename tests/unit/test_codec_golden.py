@@ -1,0 +1,75 @@
+"""Golden-file format-stability tests for the version-2 one-shot stream.
+
+``tests/data/golden_v2.pyblaz`` was serialized by the codec at a fixed point in
+time (see ``tests/data/make_golden.py``); these tests pin the format so that
+later extensions — like the chunked-store format, which reuses the codec's
+settings encoding — are proven backward-compatible rather than assumed.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.codec import load, serialize
+
+DATA_DIR = Path(__file__).parent.parent / "data"
+GOLDEN = DATA_DIR / "golden_v2.pyblaz"
+EXPECTED = DATA_DIR / "golden_v2_expected.npz"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return load(GOLDEN)
+
+
+@pytest.fixture(scope="module")
+def expected():
+    with np.load(EXPECTED) as data:
+        return {key: data[key] for key in data.files}
+
+
+class TestGoldenFileStability:
+    def test_header_fields_read_back(self, golden):
+        assert golden.shape == (10, 12)
+        assert golden.settings.block_shape == (4, 4)
+        assert golden.settings.float_format.name == "float32"
+        assert golden.settings.index_dtype == np.dtype(np.int16)
+        assert golden.settings.transform == "dct"
+        assert golden.settings.kept_per_block == 8  # the 50% low-frequency mask
+
+    def test_payload_matches_expected_arrays(self, golden, expected):
+        assert tuple(expected["shape"]) == golden.shape
+        assert np.array_equal(golden.maxima, expected["maxima"])
+        assert np.array_equal(golden.indices, expected["indices"])
+
+    def test_reserialization_is_byte_identical(self, golden):
+        """serialize(load(x)) == x: the v2 writer still emits the pinned bytes."""
+        assert serialize(golden) == GOLDEN.read_bytes()
+
+    def test_decompression_still_matches(self, golden, expected):
+        from repro.core import Compressor
+
+        decompressed = Compressor(golden.settings).decompress(golden)
+        assert np.allclose(decompressed, expected["decompressed"], rtol=1e-12, atol=1e-12)
+
+    def test_store_reader_rejects_one_shot_stream(self):
+        from repro.streaming import CompressedStore
+
+        with pytest.raises(ValueError, match="bad magic"):
+            CompressedStore(GOLDEN)
+
+    def test_one_shot_reader_names_the_store_format(self, tmp_path):
+        """deserialize() of a chunked store points at the right tool, not a bogus
+        version error (the store magic shares the one-shot "PBLZ" prefix)."""
+        from repro.core import CompressionSettings, Compressor
+        from repro.core.codec import deserialize
+        from repro.streaming import ChunkedCompressor
+
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
+                                       index_dtype="int16")
+        array = np.linspace(0.0, 1.0, 64).reshape(8, 8)
+        path = tmp_path / "x.pblzc"
+        ChunkedCompressor(settings).compress_to_store(array, path).close()
+        with pytest.raises(ValueError, match="chunked store"):
+            deserialize(path.read_bytes())
