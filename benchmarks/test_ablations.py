@@ -1,12 +1,15 @@
 """Design-choice ablation benches (DESIGN.md §4).
 
-Four studies: the differentiation step PyBlaz drops relative to Blaz, the orthonormal
-transform choice, the execution backend, and the bin-index width.
+Five studies: the differentiation step PyBlaz drops relative to Blaz, the
+orthonormal transform choice, the execution backend, the bin-index width, and
+the cross-codec sweep through the registry (ratio/error/throughput of every
+registered codec in one table).
 """
 
 import numpy as np
 import pytest
 
+from repro.codecs import available_codecs
 from repro.core import CompressionSettings, Compressor
 from repro.experiments import ablations
 from repro.parallel import LoopExecutor, ThreadedExecutor
@@ -48,6 +51,24 @@ def test_ablation_index_width(benchmark, results_dir):
     ratios = [row[2] for row in result.rows]
     assert errors == sorted(errors, reverse=True)  # wider indices → monotonically lower error
     assert ratios == sorted(ratios, reverse=True)  # and lower ratio
+
+
+def test_ablation_codecs(benchmark, results_dir):
+    """One registry-driven table replaces the per-baseline ratio/error loops."""
+    result = benchmark.pedantic(ablations.run_codecs, rounds=1, iterations=1)
+    write_result(results_dir, "ablation_codecs", ablations.format_result(result))
+    by_codec = {row[0]: row for row in result.rows}
+    # every registered 2-D-capable codec appears — third-party registrations too
+    # (the sweep probes a 2-D field, so codecs without 2-D support are skipped)
+    from repro.codecs import get_codec
+
+    expected = {n for n in available_codecs() if 2 in get_codec(n).capabilities.ndims}
+    assert set(by_codec) == expected
+    for name, (_, ratio, error, bound, t_compress, t_decompress) in by_codec.items():
+        assert ratio > 0 and t_compress > 0 and t_decompress > 0, name
+        assert error <= bound + 1e-12, name  # the documented round-trip bound holds
+    assert by_codec["huffman"][2] == 0.0  # lossless
+    assert by_codec["sz"][2] <= by_codec["sz"][3]  # the SZ error-bound guarantee
 
 
 @pytest.mark.parametrize("backend", ["vectorized", "threads", "loop"])

@@ -8,7 +8,7 @@ the summary series (and the headline speedups at the largest size) are written t
 import numpy as np
 import pytest
 
-from repro.baselines import BlazCompressor
+from repro.codecs import get_codec
 from repro.core import CompressionSettings, Compressor, ops
 from repro.experiments import fig2_blaz
 
@@ -50,20 +50,20 @@ class TestPyBlazTimes:
 @pytest.mark.parametrize("size", SIZES[:-1])  # Blaz is the slow per-block loop
 class TestBlazTimes:
     def test_blaz_compress(self, benchmark, arrays, size):
-        benchmark(BlazCompressor().compress, arrays[size][0])
+        benchmark(get_codec("blaz").compress, arrays[size][0])
 
     def test_blaz_decompress(self, benchmark, arrays, size):
-        blaz = BlazCompressor()
+        blaz = get_codec("blaz")
         compressed = blaz.compress(arrays[size][0])
         benchmark(blaz.decompress, compressed)
 
     def test_blaz_add(self, benchmark, arrays, size):
-        blaz = BlazCompressor()
+        blaz = get_codec("blaz")
         ca, cb = blaz.compress(arrays[size][0]), blaz.compress(arrays[size][1])
         benchmark(blaz.add, ca, cb)
 
     def test_blaz_multiply(self, benchmark, arrays, size):
-        blaz = BlazCompressor()
+        blaz = get_codec("blaz")
         ca = blaz.compress(arrays[size][0])
         benchmark(blaz.multiply_scalar, ca, 1.5)
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines import ZFPCompressor
+from repro.codecs import get_codec
 from repro.core import CompressionSettings, Compressor
 from repro.experiments import fig3_zfp
 from repro.simulators import gradient_array
@@ -20,10 +20,10 @@ PYBLAZ_INDEX = ("int8", "int16")
 class TestZFP2D:
     def test_zfp_compress_2d(self, benchmark, size, bits):
         array = gradient_array((size, size))
-        benchmark(ZFPCompressor(bits).compress, array)
+        benchmark(get_codec("zfp", bits_per_value=bits).compress, array)
 
     def test_zfp_decompress_2d(self, benchmark, size, bits):
-        codec = ZFPCompressor(bits)
+        codec = get_codec("zfp", bits_per_value=bits)
         compressed = codec.compress(gradient_array((size, size)))
         benchmark(codec.decompress, compressed)
 
@@ -33,10 +33,10 @@ class TestZFP2D:
 class TestZFP3D:
     def test_zfp_compress_3d(self, benchmark, size, bits):
         array = gradient_array((size, size, size))
-        benchmark(ZFPCompressor(bits).compress, array)
+        benchmark(get_codec("zfp", bits_per_value=bits).compress, array)
 
     def test_zfp_decompress_3d(self, benchmark, size, bits):
-        codec = ZFPCompressor(bits)
+        codec = get_codec("zfp", bits_per_value=bits)
         compressed = codec.compress(gradient_array((size, size, size)))
         benchmark(codec.decompress, compressed)
 

@@ -6,6 +6,8 @@ The package is organised as:
 * :mod:`repro.core` — the PyBlaz-style compressor, compressed form, compressed-space
   operations, codec and error analysis (the paper's contribution).
 * :mod:`repro.numerics` — reduced-precision floating-point emulation.
+* :mod:`repro.codecs` — the uniform :class:`Codec` protocol + string-keyed
+  registry every compressor (core and baselines alike) is reachable through.
 * :mod:`repro.baselines` — Blaz, ZFP-like and SZ-like comparison compressors.
 * :mod:`repro.simulators` — shallow-water, MRI-like and fission-like data generators.
 * :mod:`repro.analysis` — uncompressed reference operations and error metrics.
@@ -37,9 +39,17 @@ from .core import (
     serialize,
 )
 from .core import ops
+from .codecs import (
+    Codec,
+    CodecCapabilities,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+from .core.exceptions import CodecError
 from .streaming import ChunkedCompressor, CompressedStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CompressionSettings",
@@ -47,6 +57,12 @@ __all__ = [
     "CompressedArray",
     "ChunkedCompressor",
     "CompressedStore",
+    "Codec",
+    "CodecCapabilities",
+    "CodecError",
+    "register_codec",
+    "get_codec",
+    "available_codecs",
     "ops",
     "serialize",
     "deserialize",

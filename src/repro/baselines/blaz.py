@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.exceptions import CodecError
 from ..core.transforms import dct_matrix
 
 __all__ = ["BlazCompressor", "BlazCompressed"]
@@ -137,9 +138,9 @@ class BlazCompressor:
         """Compress a 2-dimensional float array."""
         array = np.asarray(array, dtype=np.float64)
         if array.ndim != 2:
-            raise ValueError(f"Blaz compresses 2-dimensional arrays, got ndim={array.ndim}")
+            raise CodecError(f"Blaz compresses 2-dimensional arrays, got ndim={array.ndim}")
         if array.size == 0:
-            raise ValueError("cannot compress an empty array")
+            raise CodecError("cannot compress an empty array")
         padded, shape = self._pad(array)
         grid_rows = padded.shape[0] // _BLOCK
         grid_cols = padded.shape[1] // _BLOCK
@@ -193,7 +194,7 @@ class BlazCompressor:
         re-binning — block by block, as the original implementation does.
         """
         if a.shape != b.shape or a.grid_shape != b.grid_shape:
-            raise ValueError("Blaz addition requires identically shaped operands")
+            raise CodecError("Blaz addition requires identically shaped operands")
         firsts = a.firsts + b.firsts
         maxima = np.empty_like(a.maxima)
         indices = np.empty_like(a.indices)
@@ -218,7 +219,7 @@ class BlazCompressor:
     def multiply_scalar(self, a: BlazCompressed, scalar: float) -> BlazCompressed:
         """Compressed-space multiplication by a scalar (block-by-block)."""
         if not np.isfinite(scalar):
-            raise ValueError("scalar must be finite")
+            raise CodecError("scalar must be finite")
         scalar = float(scalar)
         firsts = np.empty_like(a.firsts)
         maxima = np.empty_like(a.maxima)

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.exceptions import CodecError
+
 __all__ = ["HuffmanCode", "huffman_encode", "huffman_decode", "code_lengths"]
 
 
@@ -31,7 +33,7 @@ def code_lengths(symbols: np.ndarray, counts: np.ndarray) -> dict[int, int]:
     symbols = np.asarray(symbols)
     counts = np.asarray(counts)
     if symbols.size != counts.size:
-        raise ValueError("symbols and counts must have equal length")
+        raise CodecError("symbols and counts must have equal length")
     if symbols.size == 0:
         return {}
     if symbols.size == 1:
@@ -108,7 +110,7 @@ def huffman_encode(values: np.ndarray) -> HuffmanCode:
     """Encode an integer array with a canonical Huffman code."""
     values = np.asarray(values)
     if values.dtype.kind not in "iu":
-        raise ValueError("Huffman coding operates on integer symbol arrays")
+        raise CodecError("Huffman coding operates on integer symbol arrays")
     flat = values.ravel()
     if flat.size == 0:
         return HuffmanCode(
@@ -185,5 +187,5 @@ def huffman_decode(code: HuffmanCode) -> np.ndarray:
             current = 0
             current_length = 0
         elif current_length > max_length:  # pragma: no cover - corrupted stream
-            raise ValueError("invalid Huffman stream")
+            raise CodecError("invalid Huffman stream")
     return out

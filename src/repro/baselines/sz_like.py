@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.exceptions import CodecError
 from .huffman import HuffmanCode, huffman_decode, huffman_encode
 
 __all__ = ["SZCompressor", "SZCompressed"]
@@ -87,9 +88,9 @@ class SZCompressor:
 
     def __init__(self, error_bound: float, levels: int = 8):
         if not np.isfinite(error_bound) or error_bound <= 0:
-            raise ValueError("error_bound must be a positive finite number")
+            raise CodecError("error_bound must be a positive finite number")
         if levels < 1:
-            raise ValueError("levels must be at least 1")
+            raise CodecError("levels must be at least 1")
         self.error_bound = float(error_bound)
         self.levels = int(levels)
 
@@ -98,9 +99,9 @@ class SZCompressor:
         """Compress ``array`` under the configured error bound."""
         array = np.asarray(array, dtype=np.float64)
         if array.size == 0:
-            raise ValueError("cannot compress an empty array")
+            raise CodecError("cannot compress an empty array")
         if not np.all(np.isfinite(array)):
-            raise ValueError("input contains non-finite values")
+            raise CodecError("input contains non-finite values")
         flat = array.ravel()
         n = flat.size
         stride = 2**self.levels

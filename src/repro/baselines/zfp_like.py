@@ -34,11 +34,37 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ZFPCompressor", "ZFPCompressed"]
+from ..core.exceptions import CodecError
+
+__all__ = ["ZFPCompressor", "ZFPCompressed", "bit_lengths", "BLOCK", "PRECISION",
+           "EXPONENT_BITS", "MAX_SHIFT"]
 
 _BLOCK = 4
 _PRECISION = 30  # fixed-point bits for block-floating-point significands
 _EXPONENT_BITS = 16  # per-block exponent storage
+#: Largest |ldexp shift| that stays finite/normal in float64; deep-subnormal
+#: blocks (exponents below ≈ -992) clamp to this instead of overflowing.
+_MAX_SHIFT = 1022
+
+# public aliases for the stream serializer (repro.codecs.zfp), whose grid and
+# bound math must mirror these pipeline parameters exactly
+BLOCK = _BLOCK
+PRECISION = _PRECISION
+EXPONENT_BITS = _EXPONENT_BITS
+MAX_SHIFT = _MAX_SHIFT
+
+
+def bit_lengths(values: np.ndarray) -> np.ndarray:
+    """Bit length of each unsigned value (0 for 0).
+
+    Uses the float64 log2 trick, exact for the < 2**52 magnitudes this pipeline
+    produces.  Shared by the plane-truncation step below and the stream
+    serializer in :mod:`repro.codecs.zfp`, which must agree on per-block
+    dropped-plane counts bit for bit.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        lengths = np.floor(np.log2(np.maximum(values.astype(np.float64), 1.0)))
+    return np.where(values > 0, lengths.astype(np.int64) + 1, 0)
 
 _FORWARD = np.array(
     [
@@ -114,8 +140,10 @@ class ZFPCompressor:
 
     def __init__(self, bits_per_value: int = 16):
         bits_per_value = int(bits_per_value)
-        if bits_per_value < 1:
-            raise ValueError("bits_per_value must be positive")
+        # the upper cap matches the stream serializer's u16 rate field; rates
+        # beyond 64 bits/value keep every plane anyway (kept_planes caps at 64)
+        if not 1 <= bits_per_value <= 65535:
+            raise CodecError("bits_per_value must be in [1, 65535]")
         self.bits_per_value = bits_per_value
 
     # ------------------------------------------------------------------ helpers
@@ -177,11 +205,11 @@ class ZFPCompressor:
         """Compress an array at the configured fixed rate."""
         array = np.asarray(array, dtype=np.float64)
         if array.ndim < 1 or array.ndim > 3:
-            raise ValueError("the ZFP-like codec supports 1- to 3-dimensional arrays")
+            raise CodecError("the ZFP-like codec supports 1- to 3-dimensional arrays")
         if array.size == 0:
-            raise ValueError("cannot compress an empty array")
+            raise CodecError("cannot compress an empty array")
         if not np.all(np.isfinite(array)):
-            raise ValueError("input contains non-finite values")
+            raise CodecError("input contains non-finite values")
         ndim = array.ndim
         blocks, grid, _ = self._block(array)
         block_size = _BLOCK**ndim
@@ -191,8 +219,8 @@ class ZFPCompressor:
         # frexp: max = m * 2**e with m in [0.5, 1); all-zero blocks get exponent 0.
         _, exponents = np.frexp(maxima)
         exponents = np.where(maxima == 0.0, 0, exponents).astype(np.int16)
-        scale = np.ldexp(1.0, _PRECISION - exponents.astype(np.int32))
-        scale = scale.reshape((-1,) + (1,) * ndim)
+        shifts = np.minimum(_PRECISION - exponents.astype(np.int32), _MAX_SHIFT)
+        scale = np.ldexp(1.0, shifts).reshape((-1,) + (1,) * ndim)
         fixed = np.rint(blocks * scale).astype(np.int64)
 
         # Lifting transform (floating point on the fixed-point integers, re-rounded).
@@ -212,10 +240,7 @@ class ZFPCompressor:
         elif kept_planes == 0:
             planes = np.zeros_like(nega)
         else:
-            block_max = nega.max(axis=1)
-            with np.errstate(divide="ignore", invalid="ignore"):
-                lengths = np.floor(np.log2(np.maximum(block_max.astype(np.float64), 1.0)))
-            bit_length = np.where(block_max > 0, lengths.astype(np.int64) + 1, 0)
+            bit_length = bit_lengths(nega.max(axis=1))
             drop = np.clip(bit_length - kept_planes, 0, 63).astype(np.uint64)
             plane_mask = np.left_shift(
                 np.uint64(0xFFFFFFFFFFFFFFFF), drop
@@ -242,7 +267,11 @@ class ZFPCompressor:
         coefficients = coefficients.reshape((compressed.n_blocks,) + (_BLOCK,) * ndim)
         fixed = self._apply_transform(coefficients, _INVERSE)
         exponents = compressed.exponents.reshape(-1).astype(np.int32)
-        scale = np.ldexp(1.0, exponents - _PRECISION).reshape((-1,) + (1,) * ndim)
+        # mirror the compressor's clamped shift exactly, or clamped blocks
+        # would be rescaled by the wrong power of two
+        scale = np.ldexp(
+            1.0, np.maximum(exponents - _PRECISION, -_MAX_SHIFT)
+        ).reshape((-1,) + (1,) * ndim)
         blocks = fixed * scale
         padded = self._unblock(blocks, grid, padded_shape)
         return padded[tuple(slice(0, extent) for extent in shape)]

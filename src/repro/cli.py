@@ -3,16 +3,23 @@
 Subcommands
 -----------
 
-``compress``          Compress a ``.npy`` array file into a PyBlaz stream.
-``decompress``        Reconstruct a ``.npy`` array from a PyBlaz stream.
+``compress``          Compress a ``.npy`` array file with any registered codec.
+``decompress``        Reconstruct a ``.npy`` array from a codec stream (the
+                      codec is detected from the stream's magic).
 ``stream-compress``   Compress a ``.npy`` file slab-by-slab (memmapped — the file
                       is never fully loaded) into a chunked store.
 ``stream-decompress`` Reconstruct a ``.npy`` array — or just a region of it —
                       from a chunked store, one chunk at a time.
-``info``              Print the header, settings and ratio of a PyBlaz stream or
+``codecs``            List every registered codec with its capabilities and its
+                      compression ratio on a standard 256×256 float64 probe.
+``info``              Print the header, settings and ratio of a codec stream or
                       chunked store.
 ``experiment``        Run one of the paper-reproduction experiments and print its
                       table.
+
+Exit codes: 0 success, 2 usage errors (mismatched block dimensionality, invalid
+region), 3 codec errors (:class:`repro.core.errors.CodecError` — unsupported
+dtype/shape/parameters, unknown codec, corrupt stream).
 
 Examples
 --------
@@ -20,12 +27,13 @@ Examples
 ::
 
     repro compress input.npy output.pblz --block 4,4,4 --float float32 --index int16
-    repro decompress output.pblz roundtrip.npy
-    repro stream-compress input.npy output.pblzc --block 4,4,4 --slab-rows 64 --workers 4
+    repro compress input.npy output.zfp --codec zfp --bits 16
+    repro decompress output.zfp roundtrip.npy
+    repro stream-compress input.npy output.pblzc --codec sz --error-bound 1e-6
     repro stream-decompress output.pblzc roundtrip.npy --region 0:32,:,:
+    repro codecs
     repro info output.pblz
     repro experiment table1
-    repro experiment fig6
 """
 
 from __future__ import annotations
@@ -36,12 +44,18 @@ import sys
 import numpy as np
 
 from . import experiments
-from .core import CompressionSettings, Compressor
-from .core.codec import compressed_size_bits, compression_ratio, load, save
-from .streaming import ChunkedCompressor, CompressedStore
+from .codecs import available_codecs, detect_codec, get_codec, get_codec_class
+from .codecs.serialization import DECODE_ERRORS
+from .core import CompressionSettings
+from .core.codec import compressed_size_bits, compression_ratio
+from .core.exceptions import CodecError
+from .streaming import ChunkedCompressor, CompressedStore, stream_compress
 from .streaming.store import STORE_MAGIC
 
 __all__ = ["main", "build_parser"]
+
+#: Exit code for :class:`CodecError` (bad dtype/shape/params, unknown codec, ...).
+CODEC_ERROR_EXIT = 3
 
 _EXPERIMENTS = {
     "table1": experiments.table1_operations,
@@ -81,6 +95,29 @@ def _parse_region(text: str) -> tuple:
     return tuple(region)
 
 
+def _add_codec_options(parser: argparse.ArgumentParser) -> None:
+    """The codec selector plus every codec's tuning knobs (each applies only to
+    its codec; the pyblaz knobs are the historical defaults)."""
+    parser.add_argument("--codec", default="pyblaz", choices=list(available_codecs()),
+                        help="registered codec to compress with (default: pyblaz)")
+    parser.add_argument("--block", type=_parse_block, default=(4, 4, 4),
+                        help="pyblaz block shape, e.g. 4,4,4")
+    parser.add_argument("--float", dest="float_format", default="float32",
+                        choices=["bfloat16", "float16", "float32", "float64"],
+                        help="pyblaz working float format")
+    parser.add_argument("--index", dest="index_dtype", default="int16",
+                        choices=["int8", "int16", "int32", "int64"],
+                        help="pyblaz bin-index type")
+    parser.add_argument("--transform", default="dct", choices=["dct", "haar", "identity"],
+                        help="pyblaz orthonormal transform")
+    parser.add_argument("--bits", type=int, default=16,
+                        help="zfp fixed rate in bits per value")
+    parser.add_argument("--error-bound", type=float, default=1e-6,
+                        help="sz absolute error bound")
+    parser.add_argument("--levels", type=int, default=8,
+                        help="sz interpolation levels")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -92,17 +129,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_compress = sub.add_parser("compress", help="compress a .npy file")
     p_compress.add_argument("input", help="input .npy file")
     p_compress.add_argument("output", help="output compressed stream")
-    p_compress.add_argument("--block", type=_parse_block, default=(4, 4, 4),
-                            help="block shape, e.g. 4,4,4")
-    p_compress.add_argument("--float", dest="float_format", default="float32",
-                            choices=["bfloat16", "float16", "float32", "float64"])
-    p_compress.add_argument("--index", dest="index_dtype", default="int16",
-                            choices=["int8", "int16", "int32", "int64"])
-    p_compress.add_argument("--transform", default="dct", choices=["dct", "haar", "identity"])
+    _add_codec_options(p_compress)
 
     p_decompress = sub.add_parser("decompress", help="decompress a stream to .npy")
     p_decompress.add_argument("input", help="compressed stream")
     p_decompress.add_argument("output", help="output .npy file")
+    p_decompress.add_argument("--codec", default=None, choices=list(available_codecs()),
+                              help="override the codec detected from the stream magic")
 
     p_stream = sub.add_parser(
         "stream-compress",
@@ -110,17 +143,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stream.add_argument("input", help="input .npy file (memmapped, never fully loaded)")
     p_stream.add_argument("output", help="output chunked store")
-    p_stream.add_argument("--block", type=_parse_block, default=(4, 4, 4),
-                          help="block shape, e.g. 4,4,4")
-    p_stream.add_argument("--float", dest="float_format", default="float32",
-                          choices=["bfloat16", "float16", "float32", "float64"])
-    p_stream.add_argument("--index", dest="index_dtype", default="int16",
-                          choices=["int8", "int16", "int32", "int64"])
-    p_stream.add_argument("--transform", default="dct", choices=["dct", "haar", "identity"])
+    _add_codec_options(p_stream)
     p_stream.add_argument("--slab-rows", type=int, default=None,
                           help="rows per slab (rounded up to a block-row multiple)")
     p_stream.add_argument("--workers", type=int, default=1,
-                          help="worker processes compressing slabs concurrently")
+                          help="worker processes compressing slabs concurrently "
+                               "(pyblaz codec only)")
 
     p_unstream = sub.add_parser(
         "stream-decompress",
@@ -132,6 +160,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="numpy-style region, e.g. 0:32,:,4 "
                                  "(only intersecting chunks are read)")
 
+    p_codecs = sub.add_parser("codecs", help="list registered codecs and their capabilities")
+    p_codecs.add_argument("--no-probe", action="store_true",
+                          help="skip measuring ratios on the 256x256 float64 probe")
+
     p_info = sub.add_parser("info", help="describe a compressed stream or chunked store")
     p_info.add_argument("input", help="compressed stream or chunked store")
 
@@ -141,63 +173,103 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_codec(args: argparse.Namespace, ndim: int):
+    """Instantiate the requested codec from its CLI knobs.
+
+    Returns ``None`` (after printing to stderr) for the pyblaz block/array
+    dimensionality mismatch, which is a usage error (exit 2), not a codec error.
+    """
+    if args.codec == "pyblaz":
+        block = args.block
+        if len(block) != ndim:
+            print(
+                f"error: block shape {block} does not match array dimensionality {ndim}",
+                file=sys.stderr,
+            )
+            return None
+        settings = CompressionSettings(
+            block_shape=block,
+            float_format=args.float_format,
+            index_dtype=args.index_dtype,
+            transform=args.transform,
+        )
+        return get_codec("pyblaz", settings=settings)
+    if args.codec == "zfp":
+        return get_codec("zfp", bits_per_value=args.bits)
+    if args.codec == "sz":
+        return get_codec("sz", error_bound=args.error_bound, levels=args.levels)
+    return get_codec(args.codec)
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     array = np.load(args.input)
-    block = args.block
-    if len(block) != array.ndim:
-        print(
-            f"error: block shape {block} does not match array dimensionality {array.ndim}",
-            file=sys.stderr,
-        )
+    codec = _build_codec(args, array.ndim)
+    if codec is None:
         return 2
-    settings = CompressionSettings(
-        block_shape=block,
-        float_format=args.float_format,
-        index_dtype=args.index_dtype,
-        transform=args.transform,
-    )
-    compressed = Compressor(settings).compress(array)
-    save(compressed, args.output)
-    ratio = compression_ratio(settings, array.shape, input_bits_per_element=array.dtype.itemsize * 8)
-    print(f"compressed {args.input} {array.shape} -> {args.output}")
-    print(f"settings: {settings.describe()}")
-    print(f"accounting ratio vs {array.dtype}: {ratio:.3f}")
+    blob = codec.to_bytes(codec.compress(array))
+    with open(args.output, "wb") as handle:
+        handle.write(blob)
+    print(f"compressed {args.input} {array.shape} -> {args.output} (codec {codec.name})")
+    if args.codec == "pyblaz":
+        settings = codec.settings
+        ratio = compression_ratio(
+            settings, array.shape, input_bits_per_element=array.dtype.itemsize * 8
+        )
+        print(f"settings: {settings.describe()}")
+        print(f"accounting ratio vs {array.dtype}: {ratio:.3f}")
+    else:
+        measured = array.nbytes / len(blob)
+        print(f"measured ratio vs {array.dtype}: {measured:.3f}")
     return 0
 
 
+def _decode_stream(name: str, data: bytes):
+    """``from_bytes`` with the exit-code contract enforced: decoding failures on
+    truncated/corrupt payloads surface as :class:`CodecError` (exit 3), not as
+    raw numpy/struct tracebacks."""
+    try:
+        return get_codec_class(name).from_bytes(data)
+    except CodecError:
+        raise
+    except DECODE_ERRORS as exc:
+        raise CodecError(f"corrupt or truncated {name} stream: {exc}") from exc
+
+
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    compressed = load(args.input)
-    array = Compressor(compressed.settings).decompress(compressed)
+    with open(args.input, "rb") as handle:
+        data = handle.read()
+    name = args.codec or detect_codec(data)
+    array = get_codec(name).decompress(_decode_stream(name, data))
     np.save(args.output, array)
-    print(f"decompressed {args.input} -> {args.output} {array.shape}")
+    print(f"decompressed {args.input} -> {args.output} {array.shape} (codec {name})")
     return 0
 
 
 def _cmd_stream_compress(args: argparse.Namespace) -> int:
     array = np.load(args.input, mmap_mode="r")
-    block = args.block
-    if len(block) != array.ndim:
-        print(
-            f"error: block shape {block} does not match array dimensionality {array.ndim}",
-            file=sys.stderr,
-        )
+    codec = _build_codec(args, array.ndim)
+    if codec is None:
         return 2
-    settings = CompressionSettings(
-        block_shape=block,
-        float_format=args.float_format,
-        index_dtype=args.index_dtype,
-        transform=args.transform,
-    )
-    chunked = ChunkedCompressor(settings, slab_rows=args.slab_rows, n_workers=args.workers)
-    with chunked.compress_to_store(array, args.output) as store:
-        ratio = compression_ratio(
-            settings, array.shape, input_bits_per_element=array.dtype.itemsize * 8
+    if args.codec == "pyblaz":
+        # the exact (bit-identical to one-shot) path, with optional process fan-out
+        chunked = ChunkedCompressor(
+            codec.settings, slab_rows=args.slab_rows, n_workers=args.workers
         )
-        print(f"stream-compressed {args.input} {array.shape} -> {args.output}")
-        print(f"settings: {settings.describe()}")
-        print(f"chunks: {store.n_chunks} (slab rows {chunked.slab_rows}, "
-              f"workers {chunked.n_workers})")
-        print(f"accounting ratio vs {array.dtype}: {ratio:.3f}")
+        with chunked.compress_to_store(array, args.output) as store:
+            ratio = compression_ratio(
+                codec.settings, array.shape, input_bits_per_element=array.dtype.itemsize * 8
+            )
+            print(f"stream-compressed {args.input} {array.shape} -> {args.output} "
+                  f"(codec {codec.name})")
+            print(f"settings: {codec.settings.describe()}")
+            print(f"chunks: {store.n_chunks} (slab rows {chunked.slab_rows}, "
+                  f"workers {chunked.n_workers})")
+            print(f"accounting ratio vs {array.dtype}: {ratio:.3f}")
+        return 0
+    with stream_compress(array, args.output, codec, slab_rows=args.slab_rows) as store:
+        print(f"stream-compressed {args.input} {array.shape} -> {args.output} "
+              f"(codec {codec.name})")
+        print(f"chunks: {store.n_chunks}")
     return 0
 
 
@@ -206,23 +278,51 @@ def _cmd_stream_decompress(args: argparse.Namespace) -> int:
         if args.region is not None:
             try:
                 array = store.load_region(args.region)
+            except CodecError:
+                raise  # corrupt store/chunk: exit 3, not a usage error
             except (ValueError, IndexError) as exc:
                 print(f"error: invalid region for {store.shape}: {exc}", file=sys.stderr)
                 return 2
             np.save(args.output, array)
         else:
             # chunk-at-a-time into a memmapped output: never materialises the array
-            out = np.lib.format.open_memmap(
-                args.output, mode="w+", dtype=np.float64, shape=store.shape
-            )
+            out = None
             row = 0
             for chunk in store.iter_chunks():
-                decompressed = Compressor(store.settings).decompress(chunk)
-                out[row : row + chunk.shape[0]] = decompressed
-                row += chunk.shape[0]
+                decompressed = store.decompress_chunk(chunk)
+                if out is None:
+                    out = np.lib.format.open_memmap(
+                        args.output, mode="w+", dtype=decompressed.dtype, shape=store.shape
+                    )
+                out[row : row + decompressed.shape[0]] = decompressed
+                row += decompressed.shape[0]
             out.flush()
             array = out
         print(f"stream-decompressed {args.input} -> {args.output} {array.shape}")
+    return 0
+
+
+def _probe_field() -> np.ndarray:
+    """The standard 256×256 float64 probe the ``codecs`` listing measures on
+    (the same generator the cross-codec ablation sweeps)."""
+    return experiments.smooth_field((256, 256), seed=2023)
+
+
+def _cmd_codecs(args: argparse.Namespace) -> int:
+    probe = None if args.no_probe else _probe_field()
+    header = f"{'codec':10s} {'ndims':8s} {'lossless':9s} {'probe ratio':>12s}  compressed-space ops"
+    print(header)
+    print("-" * len(header))
+    for name in available_codecs():
+        codec = get_codec(name)
+        caps = codec.capabilities
+        if probe is not None and 2 in caps.ndims:
+            ratio = f"{codec.measured_ratio(probe):12.3f}"
+        else:
+            ratio = f"{'-':>12s}"
+        ops = ",".join(caps.compressed_ops) if caps.compressed_ops else "-"
+        ndims = ",".join(map(str, caps.ndims))
+        print(f"{name:10s} {ndims:8s} {'yes' if caps.lossless else 'no':9s} {ratio}  {ops}")
     return 0
 
 
@@ -235,25 +335,43 @@ def _cmd_info(args: argparse.Namespace) -> int:
     if _is_store(args.input):
         with CompressedStore(args.input) as store:
             print(f"shape: {store.shape}")
-            print(f"settings: {store.settings.describe()}")
+            print(f"codec: {store.codec_name} (store format v{store.version})")
             print(f"chunks: {store.n_chunks} (rows per chunk: "
                   f"{', '.join(map(str, store.chunk_rows))})")
-            print(f"stored bits (accounting): {compressed_size_bits(store.settings, store.shape)}")
-            print(
-                "compression ratio vs float64: "
-                f"{compression_ratio(store.settings, store.shape, input_bits_per_element=64):.3f}"
-            )
+            settings = store.settings
+            if settings is not None:
+                print(f"settings: {settings.describe()}")
+                print(f"stored bits (accounting): {compressed_size_bits(settings, store.shape)}")
+                print(
+                    "compression ratio vs float64: "
+                    f"{compression_ratio(settings, store.shape, input_bits_per_element=64):.3f}"
+                )
         return 0
-    compressed = load(args.input)
-    settings = compressed.settings
-    print(f"shape: {compressed.shape}")
-    print(f"settings: {settings.describe()}")
-    print(f"blocks: {compressed.n_blocks} (grid {compressed.grid_shape})")
-    print(f"stored bits (accounting): {compressed_size_bits(settings, compressed.shape)}")
-    print(
-        "compression ratio vs float64: "
-        f"{compression_ratio(settings, compressed.shape, input_bits_per_element=64):.3f}"
-    )
+    with open(args.input, "rb") as handle:
+        data = handle.read()
+    name = detect_codec(data)
+    compressed = _decode_stream(name, data)
+    print(f"shape: {tuple(compressed.shape)}")
+    print(f"codec: {name}")
+    if name == "pyblaz":
+        settings = compressed.settings
+        print(f"settings: {settings.describe()}")
+        print(f"blocks: {compressed.n_blocks} (grid {compressed.grid_shape})")
+        print(f"stored bits (accounting): {compressed_size_bits(settings, compressed.shape)}")
+        print(
+            "compression ratio vs float64: "
+            f"{compression_ratio(settings, compressed.shape, input_bits_per_element=64):.3f}"
+        )
+    else:
+        # the huffman stream records the original dtype; the lossy baseline
+        # streams don't, so their ratio is labelled against the float64
+        # reconstruction rather than presented as the (unknown) source dtype's
+        dtype = getattr(compressed, "dtype", None)
+        itemsize = np.dtype(dtype).itemsize if dtype is not None else 8
+        label = np.dtype(dtype).name if dtype is not None else "float64 reconstruction"
+        original = int(np.prod(compressed.shape)) * itemsize
+        print(f"serialized bytes: {len(data)}")
+        print(f"measured ratio vs {label}: {original / len(data):.3f}")
     return 0
 
 
@@ -273,10 +391,15 @@ def main(argv: list[str] | None = None) -> int:
         "decompress": _cmd_decompress,
         "stream-compress": _cmd_stream_compress,
         "stream-decompress": _cmd_stream_decompress,
+        "codecs": _cmd_codecs,
         "info": _cmd_info,
         "experiment": _cmd_experiment,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except CodecError as exc:
+        print(f"codec error: {exc}", file=sys.stderr)
+        return CODEC_ERROR_EXIT
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution

@@ -1,0 +1,122 @@
+"""The original Blaz baseline as a registrable :class:`Codec`.
+
+Adds what :class:`repro.baselines.blaz.BlazCompressor` lacked for registry use:
+a self-describing byte stream, a nominal compression ratio, and a data-dependent
+L∞ round-trip bound.  The two compressed-space operations Blaz supports (`add`,
+`multiply_scalar`) are re-exposed so the Fig 2 harness can obtain everything it
+needs from the registry.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import ClassVar
+
+import numpy as np
+
+from ..baselines.blaz import BlazCompressed, BlazCompressor
+from .base import Codec, CodecCapabilities
+from .serialization import check_magic, pack_shape, unpack_shape
+
+__all__ = ["BlazCodec"]
+
+_VERSION = 1
+#: Blaz geometry: 8×8 blocks, exact first element + max coefficient per block
+#: (64 bits each), 28 kept int8 bin indices (the 6×6 high-frequency corner of
+#: the 8×8 coefficient block is pruned).
+_BLOCK = 8
+_RADIUS = 127
+_KEPT = 28
+_BITS_PER_BLOCK = 64 + 64 + 8 * _KEPT
+
+
+class BlazCodec(Codec):
+    """Single-threaded Blaz codec (2-dimensional float64 arrays, 8×8 blocks)."""
+
+    name: ClassVar[str] = "blaz"
+    magic: ClassVar[bytes] = b"BLZ1"
+    capabilities: ClassVar[CodecCapabilities] = CodecCapabilities(
+        ndims=(2,),
+        dtypes=("float64",),
+        compressed_ops=("add", "multiply_scalar"),
+        lossless=False,
+    )
+
+    def __init__(self) -> None:
+        self._impl = BlazCompressor()
+
+    # ------------------------------------------------------------------ protocol
+    def compress(self, array: np.ndarray) -> BlazCompressed:
+        return self._impl.compress(self.validate_input(array))
+
+    def decompress(self, compressed: BlazCompressed) -> np.ndarray:
+        return self._impl.decompress(compressed)
+
+    def to_bytes(self, compressed: BlazCompressed) -> bytes:
+        out = bytearray()
+        out += self.magic
+        out += struct.pack("<B", _VERSION)
+        out += pack_shape(compressed.shape)
+        out += struct.pack("<QQ", *compressed.grid_shape)
+        out += np.ascontiguousarray(compressed.firsts, dtype="<f8").tobytes()
+        out += np.ascontiguousarray(compressed.maxima, dtype="<f8").tobytes()
+        out += np.ascontiguousarray(compressed.indices, dtype=np.int8).tobytes()
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> BlazCompressed:
+        offset = check_magic(data, cls.magic, _VERSION, cls.name)
+        shape, offset = unpack_shape(data, offset)
+        grid = struct.unpack_from("<QQ", data, offset)
+        offset += 16
+        n_blocks = int(grid[0] * grid[1])
+        firsts = np.frombuffer(data, dtype="<f8", count=n_blocks, offset=offset)
+        offset += 8 * n_blocks
+        maxima = np.frombuffer(data, dtype="<f8", count=n_blocks, offset=offset)
+        offset += 8 * n_blocks
+        indices = np.frombuffer(data, dtype=np.int8, count=n_blocks * _KEPT, offset=offset)
+        return BlazCompressed(
+            shape=(int(shape[0]), int(shape[1])),
+            firsts=firsts.astype(np.float64).reshape(grid),
+            maxima=maxima.astype(np.float64).reshape(grid),
+            indices=indices.reshape(n_blocks, _KEPT).copy(),
+        )
+
+    def compression_ratio(self, array_shape: tuple[int, ...], input_bits: int = 64) -> float:
+        rows, cols = array_shape
+        n_blocks = -(-int(rows) // _BLOCK) * (-(-int(cols) // _BLOCK))
+        return (float(input_bits) * rows * cols) / float(_BITS_PER_BLOCK * n_blocks)
+
+    def roundtrip_bound(self, array: np.ndarray) -> float:
+        """Data-dependent L∞ bound through Blaz's differentiate→DCT→bin pipeline.
+
+        Per block: each kept coefficient is off by at most the half-bin width
+        ``biggest/(2·127)``; each pruned coefficient contributes its magnitude;
+        DCT basis amplitudes are < 1, so the per-element *difference* error is at
+        most that sum ``E``.  Integration accumulates at most 15 differences per
+        element and re-anchoring adds one more path, giving ≤ 31·E; 32·E is the
+        stated bound.
+        """
+        array = np.asarray(array, dtype=np.float64)
+        padded, _ = BlazCompressor._pad(array)
+        worst = 0.0
+        keep = np.ones((_BLOCK, _BLOCK), dtype=bool)
+        keep[_BLOCK - 6 :, _BLOCK - 6 :] = False
+        for gi in range(padded.shape[0] // _BLOCK):
+            for gj in range(padded.shape[1] // _BLOCK):
+                block = padded[gi * _BLOCK : (gi + 1) * _BLOCK, gj * _BLOCK : (gj + 1) * _BLOCK]
+                coeff = np.abs(
+                    self._impl._forward_dct(self._impl._differentiate(block))
+                )
+                e_block = coeff[~keep].sum() + _KEPT * coeff.max() / (2.0 * _RADIUS)
+                worst = max(worst, float(e_block))
+        return 32.0 * worst + 1e-12
+
+    # ------------------------------------------------------------------ compressed ops
+    def add(self, a: BlazCompressed, b: BlazCompressed) -> BlazCompressed:
+        """Compressed-space element-wise addition (see :meth:`BlazCompressor.add`)."""
+        return self._impl.add(a, b)
+
+    def multiply_scalar(self, a: BlazCompressed, scalar: float) -> BlazCompressed:
+        """Compressed-space scalar multiplication (see :meth:`BlazCompressor.multiply_scalar`)."""
+        return self._impl.multiply_scalar(a, scalar)

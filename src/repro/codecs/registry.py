@@ -1,0 +1,125 @@
+"""String-keyed codec registry with lazy imports.
+
+Registration stores only a ``"module:ClassName"`` spec (or an already-imported
+class) plus the codec's stream magic, so listing codecs or detecting a stream's
+codec never imports the implementation modules; :func:`get_codec_class` resolves
+the spec on first use.  The five built-in codecs are registered by
+:mod:`repro.codecs` at import time; third-party backends call
+:func:`register_codec` themselves.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from ..core.exceptions import CodecError
+from .base import Codec
+
+__all__ = [
+    "register_codec",
+    "get_codec",
+    "get_codec_class",
+    "available_codecs",
+    "detect_codec",
+]
+
+#: name -> (spec, magic); spec is a "module:attr" string or a Codec subclass.
+_REGISTRY: dict[str, tuple[object, bytes | None]] = {}
+
+#: The chunked-store prefix, which shares the one-shot pyblaz prefix "PBLZ" and
+#: must therefore be checked first during detection.
+_STORE_MAGIC = b"PBLZC"
+
+
+def register_codec(name: str, codec: "str | type[Codec]", *, magic: bytes | None = None) -> None:
+    """Register a codec under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Registry key (lower-case identifier).
+    codec:
+        Either a :class:`Codec` subclass or a lazy ``"module:ClassName"`` spec —
+        the latter defers the import until :func:`get_codec_class`.
+    magic:
+        The codec's stream prefix, enabling :func:`detect_codec`.  When omitted
+        and ``codec`` is a class, the class's own ``magic`` attribute is used.
+
+    Re-registering an existing name replaces it (useful for tests and for
+    overriding a built-in with an optimized third-party implementation).
+    """
+    if not name or not name.replace("_", "").replace("-", "").isalnum():
+        raise CodecError(f"codec name must be a non-empty identifier, got {name!r}")
+    if isinstance(codec, str):
+        if ":" not in codec:
+            raise CodecError(
+                f"lazy codec spec must look like 'package.module:ClassName', got {codec!r}"
+            )
+    elif isinstance(codec, type) and issubclass(codec, Codec):
+        if magic is None:
+            magic = getattr(codec, "magic", None)
+    else:
+        raise CodecError(
+            f"codec must be a Codec subclass or a 'module:ClassName' string, got {codec!r}"
+        )
+    _REGISTRY[name.lower()] = (codec, magic)
+
+
+def available_codecs() -> tuple[str, ...]:
+    """Sorted names of every registered codec."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_codec_class(name: str) -> "type[Codec]":
+    """Resolve ``name`` to its :class:`Codec` subclass, importing lazily."""
+    try:
+        spec, _ = _REGISTRY[name.lower()]
+    except KeyError:
+        raise CodecError(
+            f"unknown codec {name!r}; registered codecs: {', '.join(available_codecs())}"
+        ) from None
+    if isinstance(spec, str):
+        module_name, _, attr = spec.partition(":")
+        try:
+            resolved = getattr(importlib.import_module(module_name), attr)
+        except (ImportError, AttributeError) as exc:
+            raise CodecError(f"codec {name!r} failed to import from {spec!r}: {exc}") from exc
+        if not (isinstance(resolved, type) and issubclass(resolved, Codec)):
+            raise CodecError(f"codec spec {spec!r} did not resolve to a Codec subclass")
+        # cache the resolved class so later lookups skip the import machinery
+        _REGISTRY[name.lower()] = (resolved, _REGISTRY[name.lower()][1])
+        spec = resolved
+    return spec
+
+
+def get_codec(name: str, **params) -> Codec:
+    """Instantiate the codec registered under ``name`` with ``params``.
+
+    Parameter errors (unknown keyword, invalid value) surface as
+    :class:`CodecError`.
+    """
+    cls = get_codec_class(name)
+    try:
+        return cls(**params)
+    except TypeError as exc:  # unknown/missing constructor keywords
+        raise CodecError(f"invalid parameters for codec {name!r}: {exc}") from exc
+
+
+def detect_codec(data: bytes) -> str:
+    """Name of the codec whose magic prefixes ``data``.
+
+    Chunked-store files are not one-shot codec streams; they get a pointed
+    error directing the caller at :class:`repro.streaming.CompressedStore`.
+    """
+    if data[: len(_STORE_MAGIC)] == _STORE_MAGIC:
+        raise CodecError(
+            "this is a chunked store, not a one-shot codec stream; open it with "
+            "repro.streaming.CompressedStore (CLI: stream-decompress)"
+        )
+    for name, (_, magic) in sorted(_REGISTRY.items()):
+        if magic and data[: len(magic)] == magic:
+            return name
+    raise CodecError(
+        "unrecognized stream: no registered codec's magic matches "
+        f"the leading bytes {data[:5]!r}"
+    )

@@ -1,0 +1,110 @@
+"""Byte-packing primitives shared by the codec adapters.
+
+Each codec's ``to_bytes`` stream is ``magic + version + body``; the helpers here
+pack the recurring body pieces — shapes, float64 arrays, and
+:class:`repro.baselines.huffman.HuffmanCode` blobs — in one little-endian layout
+so the per-codec modules only describe *what* they store, not how.  All readers
+take and return an explicit offset so pieces compose by concatenation.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..baselines.huffman import HuffmanCode
+from ..core.exceptions import CodecError
+
+__all__ = [
+    "DECODE_ERRORS",
+    "check_magic",
+    "pack_shape",
+    "unpack_shape",
+    "pack_f8",
+    "unpack_f8",
+    "pack_huffman",
+    "unpack_huffman",
+]
+
+#: Exception types a ``from_bytes``/``decompress`` on corrupt or truncated
+#: bytes can raise out of numpy/struct (garbage counts, short buffers, bogus
+#: type codes); callers wrap these into :class:`CodecError` at API boundaries.
+DECODE_ERRORS = (
+    ValueError,
+    IndexError,
+    KeyError,
+    OverflowError,
+    struct.error,
+    UnicodeDecodeError,
+)
+
+
+def check_magic(data: bytes, magic: bytes, version: int, codec_name: str) -> int:
+    """Validate ``magic + u8 version`` at the head of ``data``; return the offset."""
+    if data[: len(magic)] != magic:
+        raise CodecError(f"not a {codec_name} stream (bad magic {data[:len(magic)]!r})")
+    offset = len(magic)
+    (found,) = struct.unpack_from("<B", data, offset)
+    if found != version:
+        raise CodecError(f"unsupported {codec_name} stream version {found}")
+    return offset + 1
+
+
+def pack_shape(shape: tuple[int, ...]) -> bytes:
+    """Pack an array shape as ``u8 ndim`` + ``ndim × u64`` extents."""
+    return struct.pack(f"<B{len(shape)}Q", len(shape), *shape)
+
+
+def unpack_shape(data: bytes, offset: int) -> tuple[tuple[int, ...], int]:
+    """Inverse of :func:`pack_shape`."""
+    (ndim,) = struct.unpack_from("<B", data, offset)
+    shape = struct.unpack_from(f"<{ndim}Q", data, offset + 1)
+    return tuple(int(s) for s in shape), offset + 1 + 8 * ndim
+
+
+def pack_f8(values: np.ndarray) -> bytes:
+    """Pack a float64 array as ``u64 count`` + little-endian doubles."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    return struct.pack("<Q", values.size) + values.astype("<f8").tobytes()
+
+
+def unpack_f8(data: bytes, offset: int) -> tuple[np.ndarray, int]:
+    """Inverse of :func:`pack_f8`."""
+    (count,) = struct.unpack_from("<Q", data, offset)
+    offset += 8
+    values = np.frombuffer(data, dtype="<f8", count=count, offset=offset).astype(np.float64)
+    return values, offset + 8 * count
+
+
+def pack_huffman(code: HuffmanCode) -> bytes:
+    """Pack a canonical Huffman code: table (symbols + lengths) and payload."""
+    out = struct.pack("<Q", code.symbols.size)
+    out += np.ascontiguousarray(code.symbols, dtype="<i8").tobytes()
+    out += np.ascontiguousarray(code.lengths, dtype=np.uint8).tobytes()
+    out += struct.pack("<QQQ", code.bit_length, code.count, len(code.payload))
+    out += code.payload
+    return out
+
+
+def unpack_huffman(data: bytes, offset: int) -> tuple[HuffmanCode, int]:
+    """Inverse of :func:`pack_huffman`."""
+    (n_symbols,) = struct.unpack_from("<Q", data, offset)
+    offset += 8
+    symbols = np.frombuffer(data, dtype="<i8", count=n_symbols, offset=offset).astype(np.int64)
+    offset += 8 * n_symbols
+    lengths = np.frombuffer(data, dtype=np.uint8, count=n_symbols, offset=offset).copy()
+    offset += n_symbols
+    bit_length, count, payload_len = struct.unpack_from("<QQQ", data, offset)
+    offset += 24
+    payload = bytes(data[offset : offset + payload_len])
+    return (
+        HuffmanCode(
+            symbols=symbols,
+            lengths=lengths,
+            payload=payload,
+            bit_length=int(bit_length),
+            count=int(count),
+        ),
+        offset + payload_len,
+    )

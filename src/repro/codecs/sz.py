@@ -1,0 +1,104 @@
+"""The SZ-style error-bounded baseline as a registrable :class:`Codec`.
+
+Adds byte-level serialization (anchors, outliers and the Huffman-coded residual
+stream) to :class:`repro.baselines.sz_like.SZCompressor`.  The round-trip bound
+is the one property SZ is defined by: every reconstructed element is within the
+configured absolute error bound, so :meth:`SZCodec.roundtrip_bound` is simply
+that constant — the only codec in the registry with a data-independent bound.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import ClassVar
+
+import numpy as np
+
+from ..baselines.sz_like import SZCompressed, SZCompressor
+from .base import Codec, CodecCapabilities
+from .serialization import (
+    check_magic,
+    pack_f8,
+    pack_huffman,
+    pack_shape,
+    unpack_f8,
+    unpack_huffman,
+    unpack_shape,
+)
+
+__all__ = ["SZCodec"]
+
+_VERSION = 1
+
+
+class SZCodec(Codec):
+    """Error-bounded interpolation-predicting codec.
+
+    Parameters
+    ----------
+    error_bound:
+        Absolute (L∞) error bound; every reconstructed element is within this
+        bound of the original.  Defaults to ``1e-6``.
+    levels:
+        Interpolation refinement levels (anchor spacing is ``2**levels``).
+    """
+
+    name: ClassVar[str] = "sz"
+    magic: ClassVar[bytes] = b"SZL1"
+    # the interpolation predictor works on the flattened array, so any rank goes
+    capabilities: ClassVar[CodecCapabilities] = CodecCapabilities(
+        ndims=(1, 2, 3, 4, 5, 6, 7, 8),
+        dtypes=("float32", "float64"),
+        compressed_ops=(),
+        lossless=False,
+    )
+
+    def __init__(self, error_bound: float = 1e-6, levels: int = 8):
+        self._impl = SZCompressor(error_bound, levels=levels)
+
+    @property
+    def error_bound(self) -> float:
+        return self._impl.error_bound
+
+    # ------------------------------------------------------------------ protocol
+    def compress(self, array: np.ndarray) -> SZCompressed:
+        return self._impl.compress(self.validate_input(array))
+
+    def decompress(self, compressed: SZCompressed) -> np.ndarray:
+        return self._impl.decompress(compressed)
+
+    def to_bytes(self, compressed: SZCompressed) -> bytes:
+        out = bytearray()
+        out += self.magic
+        out += struct.pack("<B", _VERSION)
+        out += pack_shape(compressed.shape)
+        out += struct.pack("<dB", compressed.error_bound, compressed.levels)
+        out += pack_f8(compressed.anchors)
+        out += pack_f8(compressed.outliers)
+        out += pack_huffman(compressed.codes)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> SZCompressed:
+        offset = check_magic(data, cls.magic, _VERSION, cls.name)
+        shape, offset = unpack_shape(data, offset)
+        error_bound, levels = struct.unpack_from("<dB", data, offset)
+        offset += 9
+        anchors, offset = unpack_f8(data, offset)
+        outliers, offset = unpack_f8(data, offset)
+        codes, offset = unpack_huffman(data, offset)
+        return SZCompressed(
+            shape=shape,
+            error_bound=float(error_bound),
+            anchors=anchors,
+            codes=codes,
+            outliers=outliers,
+            levels=int(levels),
+        )
+
+    def compression_ratio(self, array_shape: tuple[int, ...], input_bits: int = 64) -> float:
+        """``nan``: SZ's output size is data-dependent (use :meth:`measured_ratio`)."""
+        return float("nan")
+
+    def roundtrip_bound(self, array: np.ndarray) -> float:
+        return self.error_bound

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..numerics import BFLOAT16, FLOAT16, FLOAT32, FLOAT64, FloatFormat
 from .compressed import CompressedArray
+from .exceptions import CodecError
 from .settings import CompressionSettings
 
 __all__ = [
@@ -259,17 +260,17 @@ def deserialize(data: bytes) -> CompressedArray:
         # the chunked-store magic "PBLZC" shares this format's "PBLZ" prefix;
         # catch it here so the error names the right tool instead of reporting a
         # bogus version number
-        raise ValueError(
+        raise CodecError(
             "this is a PyBlaz chunked store; open it with "
             "repro.streaming.CompressedStore (CLI: stream-decompress)"
         )
     if data[:4] != _MAGIC:
-        raise ValueError("not a PyBlaz compressed stream (bad magic)")
+        raise CodecError("not a PyBlaz compressed stream (bad magic)")
     offset = 4
     (version,) = struct.unpack_from("<B", data, offset)
     offset += 1
     if version != _VERSION:
-        raise ValueError(f"unsupported stream version {version}")
+        raise CodecError(f"unsupported stream version {version}")
     float_format, index_dtype, transform, ndim, offset = unpack_type_codes(data, offset)
     shape = struct.unpack_from(f"<{ndim}Q", data, offset)
     offset += 8 * ndim

@@ -32,6 +32,7 @@ from ..numerics import round_to_format
 from .blocking import block_array, crop_to_shape, unblock_array
 from .binning import bin_coefficients
 from .compressed import CompressedArray
+from .exceptions import CodecError
 from .pruning import flatten_kept, unflatten_kept
 from .settings import CompressionSettings
 from .transforms import get_transform
@@ -73,14 +74,14 @@ class Compressor:
         settings = self.settings
         array = np.asarray(array)
         if array.ndim != settings.ndim:
-            raise ValueError(
+            raise CodecError(
                 f"array of dimensionality {array.ndim} cannot be compressed with "
                 f"{settings.ndim}-dimensional settings {settings.block_shape}"
             )
         if array.size == 0:
-            raise ValueError("cannot compress an empty array")
+            raise CodecError("cannot compress an empty array")
         if not np.all(np.isfinite(np.asarray(array, dtype=np.float64))):
-            raise ValueError(
+            raise CodecError(
                 "input contains non-finite values; PyBlaz's binning step cannot "
                 "represent infinities or NaNs"
             )

@@ -1,0 +1,25 @@
+"""Shared exception types for the compression stack.
+
+Kept in a leaf module (no intra-package imports) so that settings, compressor,
+baselines and the codec adapters can all raise the same types without import
+cycles; :mod:`repro.core.errors` re-exports :class:`CodecError` next to the
+error-bound analysis, which is where user code is documented to find it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CodecError"]
+
+
+class CodecError(ValueError):
+    """A codec was given an invalid dtype, shape, or parameter.
+
+    Every compressor in the repository — the core PyBlaz pipeline and all the
+    baseline codecs — raises this one type for input/parameter validation, so
+    callers iterating :func:`repro.codecs.available_codecs` can handle failures
+    uniformly, and the CLI can map it to a dedicated exit code (3).
+
+    Subclasses :class:`ValueError` so code written against the pre-registry
+    interfaces (which raised a mix of ``ValueError``/``TypeError``) keeps
+    working unchanged.
+    """

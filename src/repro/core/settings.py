@@ -23,6 +23,7 @@ from typing import Iterable
 import numpy as np
 
 from ..numerics import FloatFormat, resolve_format
+from .exceptions import CodecError
 
 __all__ = ["CompressionSettings", "SUPPORTED_INDEX_DTYPES"]
 
@@ -42,12 +43,12 @@ def _is_power_of_two(value: int) -> bool:
 def _normalize_block_shape(block_shape: Iterable[int]) -> tuple[int, ...]:
     shape = tuple(int(s) for s in block_shape)
     if len(shape) == 0:
-        raise ValueError("block shape must have at least one dimension")
+        raise CodecError("block shape must have at least one dimension")
     for extent in shape:
         if extent < 1:
-            raise ValueError(f"block extents must be positive, got {shape}")
+            raise CodecError(f"block extents must be positive, got {shape}")
         if not _is_power_of_two(extent):
-            raise ValueError(
+            raise CodecError(
                 f"PyBlaz supports only power-of-two block extents (got {shape}); "
                 "see paper §III-A(b)"
             )
@@ -89,23 +90,23 @@ class CompressionSettings:
         object.__setattr__(self, "float_format", resolve_format(self.float_format))
         dtype = np.dtype(self.index_dtype)
         if dtype not in SUPPORTED_INDEX_DTYPES:
-            raise ValueError(
+            raise CodecError(
                 f"index_dtype must be one of {[str(d) for d in SUPPORTED_INDEX_DTYPES]}, "
                 f"got {dtype}"
             )
         object.__setattr__(self, "index_dtype", dtype)
         transform = str(self.transform).lower()
         if transform not in ("dct", "haar", "identity"):
-            raise ValueError(f"unknown transform {self.transform!r}")
+            raise CodecError(f"unknown transform {self.transform!r}")
         object.__setattr__(self, "transform", transform)
         if self.pruning_mask is not None:
             mask = np.asarray(self.pruning_mask, dtype=bool)
             if mask.shape != self.block_shape:
-                raise ValueError(
+                raise CodecError(
                     f"pruning mask shape {mask.shape} must equal block shape {self.block_shape}"
                 )
             if not mask.any():
-                raise ValueError("pruning mask must keep at least one coefficient")
+                raise CodecError("pruning mask must keep at least one coefficient")
             mask = mask.copy()
             mask.setflags(write=False)
             object.__setattr__(self, "pruning_mask", mask)
@@ -163,12 +164,12 @@ class CompressionSettings:
         """Shape of the arrangement of blocks ``b = ceil(s / i)`` for ``array_shape``."""
         shape = tuple(int(s) for s in array_shape)
         if len(shape) != self.ndim:
-            raise ValueError(
+            raise CodecError(
                 f"array of dimensionality {len(shape)} cannot be compressed with "
                 f"{self.ndim}-dimensional block shape {self.block_shape}"
             )
         if any(s < 1 for s in shape):
-            raise ValueError(f"array shape must be positive, got {shape}")
+            raise CodecError(f"array shape must be positive, got {shape}")
         return tuple(-(-s // b) for s, b in zip(shape, self.block_shape))
 
     def padded_shape(self, array_shape: Iterable[int]) -> tuple[int, ...]:

@@ -35,7 +35,7 @@ from . import (
     fig7_op_times,
     table1_operations,
 )
-from .common import ExperimentResult, Timer, format_table
+from .common import ExperimentResult, Timer, format_table, smooth_field
 
 __all__ = [
     "table1_operations",
@@ -51,4 +51,5 @@ __all__ = [
     "ExperimentResult",
     "Timer",
     "format_table",
+    "smooth_field",
 ]

@@ -12,7 +12,26 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-__all__ = ["Timer", "ExperimentResult", "format_table", "median_time"]
+import numpy as np
+
+__all__ = ["Timer", "ExperimentResult", "format_table", "median_time", "smooth_field"]
+
+
+def smooth_field(shape: tuple[int, ...], seed: int = 2023, noise: float = 0.02) -> np.ndarray:
+    """The standard smooth probe field: multi-frequency waves plus small noise.
+
+    Both Blaz and PyBlaz are designed for smooth structured data; this single
+    generator is shared by the ablation harnesses and the CLI ``codecs`` probe
+    so "the standard probe" means exactly one thing everywhere.
+    """
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(*[np.linspace(0, 1, s) for s in shape], indexing="ij")
+    values = np.zeros(shape)
+    for k, grid in enumerate(grids, start=1):
+        values += np.sin(2 * np.pi * k * grid) + 0.5 * np.cos(3 * np.pi * k * grid)
+    if noise:
+        values += noise * rng.standard_normal(shape)
+    return values
 
 
 class Timer:

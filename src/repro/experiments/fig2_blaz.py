@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..baselines import BlazCompressor
+from ..codecs import get_codec
 from ..core import CompressionSettings, Compressor
 from ..core import ops
 from .common import ExperimentResult, median_time
@@ -42,7 +42,7 @@ def run(config: Fig2Config = Fig2Config()) -> ExperimentResult:
         block_shape=(8, 8), float_format="float64", index_dtype="int8"
     )
     pyblaz = Compressor(settings)
-    blaz = BlazCompressor()
+    blaz = get_codec("blaz")  # exposes compress/decompress/add/multiply_scalar
     rng = np.random.default_rng(config.seed)
     rows: list[tuple] = []
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..baselines import ZFPCompressor
+from ..codecs import get_codec
 from ..core import CompressionSettings, Compressor
 from ..simulators import gradient_array
 from .common import ExperimentResult, median_time
@@ -49,7 +49,7 @@ def run(config: Fig3Config = Fig3Config()) -> ExperimentResult:
             array = gradient_array((size,) * ndim)
 
             for bits in config.zfp_bits:
-                codec = ZFPCompressor(bits)
+                codec = get_codec("zfp", bits_per_value=bits)
                 compressed = codec.compress(array)
                 rows.append(
                     (

@@ -17,13 +17,16 @@ Three layers:
 * :class:`CompressedStore` / :class:`CompressedStoreWriter` — an on-disk format
   with a chunk table, so slabs append incrementally and sub-regions decompress
   selectively (:func:`load_region`) without materialising the whole index array.
+  Format v2 records the codec *name*, so a store can hold slabs of any
+  registered :mod:`repro.codecs` backend (:func:`stream_compress` is the
+  codec-generic writer); v1 pyblaz stores remain readable.
 * :func:`stream_mean` / :func:`stream_l2_norm` / :func:`stream_dot` — compressed-
   space reductions that fold chunk-by-chunk over a store, reusing
   :mod:`repro.core.ops` so no full decompression (or even full compressed array)
   is ever held in memory.
 """
 
-from .chunked import ChunkedCompressor
+from .chunked import ChunkedCompressor, stream_compress
 from .reductions import stream_dot, stream_l2_norm, stream_mean
 from .store import CompressedStore, CompressedStoreWriter, load_region
 
@@ -32,6 +35,7 @@ __all__ = [
     "CompressedStore",
     "CompressedStoreWriter",
     "load_region",
+    "stream_compress",
     "stream_mean",
     "stream_l2_norm",
     "stream_dot",

@@ -29,6 +29,13 @@ __all__ = ["stream_mean", "stream_l2_norm", "stream_dot"]
 
 def _chunk_iter(source) -> Iterator[CompressedArray]:
     if isinstance(source, CompressedStore):
+        if source.settings is None:
+            from ..core.exceptions import CodecError
+
+            raise CodecError(
+                f"streaming reductions fold pyblaz chunks via core.ops; this "
+                f"store holds {source.codec_name!r} streams"
+            )
         return source.iter_chunks()
     return iter(source)
 

@@ -1,11 +1,9 @@
 """The chunked on-disk store: append slabs incrementally, decompress selectively.
 
-The one-shot format of :mod:`repro.core.codec` serializes a whole compressed array
-as ``header + maxima + indices``, which forces both the writer and the reader to
-materialise everything at once.  The store format keeps the identical settings
-encoding (reusing the codec's packing primitives) but splits the payload into
-*chunk records* — one per block-aligned slab along axis 0 — and ends the file with
-a chunk table, so that
+The one-shot formats serialize a whole compressed array at once, which forces
+both the writer and the reader to materialise everything.  The store format
+splits the payload into *chunk records* — one per slab along axis 0 — and ends
+the file with a chunk table, so that
 
 * a writer can append slabs as they are produced, never holding more than one
   slab's compressed form in memory, and
@@ -13,21 +11,29 @@ a chunk table, so that
   decode only those (:meth:`CompressedStore.load_region`), never allocating the
   full index array.
 
-Layout (all little-endian)::
+Format version 2 records the *codec name* in the header and stores every chunk
+as that codec's self-describing ``to_bytes`` stream (byte lengths live in the
+chunk table), so a store can hold slabs of **any** registered codec — the core
+pyblaz pipeline, the baselines, or a third-party backend — and the reader needs
+nothing beyond the registry to decode them.  Layout (all little-endian)::
 
-    "PBLZC"  u8 version
-    type codes (4 B)  block shape (ndim × u64)  mask (u32 length + bits)
-    chunk 0 record: maxima bytes, indices bytes
+    "PBLZC"  u8 version=2
+    u8 name length, codec name (ascii)
+    chunk 0 record: the codec's to_bytes stream for slab 0
     chunk 1 record: ...
     ...
-    footer: u64 n_chunks, n_chunks × (u64 offset, u64 n_rows),
-            ndim × u64 full shape, u64 footer offset, "PBLZE"
+    footer: u64 n_chunks, n_chunks × (u64 offset, u64 n_bytes, u64 n_rows),
+            u64 ndim, ndim × u64 full shape, u64 footer offset, "PBLZE"
 
-Chunk record sizes are not self-delimited; they are derivable from the settings and
-the chunk's row count, which the table stores.  Every chunk except the last must
-cover a whole number of block rows, so chunk block grids stack exactly along grid
-axis 0 and concatenating chunk payloads reproduces the one-shot compressed array
-bit for bit.
+Version-1 files (pyblaz only: shared settings header, raw ``maxima``/``indices``
+records whose sizes derive from the settings) remain fully readable; the v1
+parsing path is kept verbatim below.
+
+For the pyblaz codec every chunk except the last must cover a whole number of
+block rows (``Codec.chunk_row_multiple``), so chunk block grids stack exactly
+along grid axis 0 and :meth:`CompressedStore.load_compressed` reproduces the
+one-shot compressed array bit for bit.  Codecs without a row-multiple constraint
+compress each slab independently, so any chunking is valid.
 """
 
 from __future__ import annotations
@@ -38,24 +44,25 @@ from typing import Iterator
 
 import numpy as np
 
+from ..codecs.base import Codec
+from ..codecs.pyblaz import PyBlazCodec
+from ..codecs.registry import get_codec, get_codec_class
+from ..codecs.serialization import DECODE_ERRORS
 from ..core.codec import (
     float_bytes,
-    pack_block_geometry,
-    pack_floats,
-    pack_type_codes,
     unpack_block_geometry,
     unpack_floats,
     unpack_type_codes,
 )
 from ..core.compressed import CompressedArray
-from ..core.compressor import Compressor
+from ..core.exceptions import CodecError
 from ..core.settings import CompressionSettings
 
 __all__ = ["CompressedStore", "CompressedStoreWriter", "load_region", "STORE_MAGIC"]
 
 STORE_MAGIC = b"PBLZC"
 _END_MAGIC = b"PBLZE"
-_STORE_VERSION = 1
+_STORE_VERSION = 2
 #: Trailer = footer offset (u64) + end magic; read first to locate the chunk table.
 _TRAILER_BYTES = 8 + len(_END_MAGIC)
 
@@ -64,7 +71,7 @@ def _check_chunk_settings(store_settings: CompressionSettings, chunk: Compressed
     if not store_settings.is_compatible_with(chunk.settings) or (
         store_settings.float_format.name != chunk.settings.float_format.name
     ):
-        raise ValueError(
+        raise CodecError(
             f"chunk settings ({chunk.settings.describe()}) do not match store "
             f"settings ({store_settings.describe()})"
         )
@@ -77,60 +84,74 @@ class CompressedStoreWriter:
     ----------
     path:
         Output file path.
-    settings:
-        The :class:`CompressionSettings` every appended chunk must share.
+    codec:
+        The :class:`repro.codecs.Codec` whose compressed objects will be
+        appended; its name is recorded in the store header.  A
+        :class:`CompressionSettings` is also accepted (the historical signature)
+        and wraps itself in a :class:`PyBlazCodec`, with the additional
+        guarantee that every appended chunk's settings match.
 
-    Usable as a context manager; :meth:`finalize` (or leaving the ``with`` block)
-    writes the chunk table and makes the file readable.
+    Usable as a context manager; :meth:`finalize` (or leaving the ``with``
+    block) writes the chunk table and makes the file readable.
     """
 
-    def __init__(self, path, settings: CompressionSettings):
+    def __init__(self, path, codec: "Codec | CompressionSettings"):
+        if isinstance(codec, CompressionSettings):
+            self.settings: CompressionSettings | None = codec
+            codec = PyBlazCodec(settings=codec)
+        elif isinstance(codec, Codec):
+            self.settings = getattr(codec, "settings", None)
+        else:
+            raise CodecError(
+                f"writer needs a Codec instance or CompressionSettings, got {codec!r}"
+            )
+        self.codec = codec
         self.path = Path(path)
-        self.settings = settings
         self._handle = open(self.path, "wb")
-        self._chunks: list[tuple[int, int]] = []  # (offset, n_rows)
+        self._chunks: list[tuple[int, int, int]] = []  # (offset, n_bytes, n_rows)
         self._tail_shape: tuple[int, ...] | None = None
         self._ragged = False
         self._finalized = False
+        name = codec.name.encode("ascii")
         header = STORE_MAGIC + struct.pack("<B", _STORE_VERSION)
-        header += pack_type_codes(settings, settings.ndim)
-        header += pack_block_geometry(settings)
+        header += struct.pack("<B", len(name)) + name
         self._handle.write(header)
 
     # ------------------------------------------------------------------ writing
-    def append(self, chunk: CompressedArray) -> None:
+    def append(self, chunk) -> None:
         """Append one compressed slab (rows along axis 0 of the eventual array).
 
-        Every chunk but the last must span a whole number of block rows; appending
-        after a ragged (non-multiple) chunk is therefore an error.
+        ``chunk`` is the codec's compressed object and must expose ``.shape``.
+        For codecs with a ``chunk_row_multiple`` > 1 (pyblaz), every chunk but
+        the last must span a whole number of block rows; appending after a
+        ragged (non-multiple) chunk is therefore an error.
         """
         if self._finalized:
-            raise ValueError("cannot append to a finalized store")
-        _check_chunk_settings(self.settings, chunk)
+            raise CodecError("cannot append to a finalized store")
+        if self.settings is not None and isinstance(chunk, CompressedArray):
+            _check_chunk_settings(self.settings, chunk)
+        multiple = self.codec.chunk_row_multiple
         if self._ragged:
-            raise ValueError(
+            raise CodecError(
                 "a chunk with a partial block row was already appended; only the "
                 "final chunk may have a row count that is not a multiple of the "
-                f"block extent {self.settings.block_shape[0]}"
+                f"block extent {multiple}"
             )
+        shape = tuple(chunk.shape)
         if self._tail_shape is None:
-            self._tail_shape = chunk.shape[1:]
-        elif chunk.shape[1:] != self._tail_shape:
-            raise ValueError(
-                f"chunk trailing shape {chunk.shape[1:]} does not match the "
+            self._tail_shape = shape[1:]
+        elif shape[1:] != self._tail_shape:
+            raise CodecError(
+                f"chunk trailing shape {shape[1:]} does not match the "
                 f"store's trailing shape {self._tail_shape}"
             )
-        n_rows = chunk.shape[0]
-        if n_rows % self.settings.block_shape[0] != 0:
+        n_rows = shape[0]
+        if multiple > 1 and n_rows % multiple != 0:
             self._ragged = True
+        payload = self.codec.to_bytes(chunk)
         offset = self._handle.tell()
-        self._handle.write(pack_floats(chunk.maxima, self.settings.float_format))
-        self._handle.write(
-            np.ascontiguousarray(
-                chunk.indices, dtype=self.settings.index_dtype.newbyteorder("<")
-            ).tobytes()
-        )
-        self._chunks.append((offset, n_rows))
+        self._handle.write(payload)
+        self._chunks.append((offset, len(payload), n_rows))
 
     def finalize(self) -> None:
         """Write the chunk table and close the file."""
@@ -138,13 +159,13 @@ class CompressedStoreWriter:
             return
         if not self._chunks:
             self._handle.close()
-            raise ValueError("cannot finalize an empty store (no chunks appended)")
+            raise CodecError("cannot finalize an empty store (no chunks appended)")
         footer_offset = self._handle.tell()
         footer = struct.pack("<Q", len(self._chunks))
-        for offset, n_rows in self._chunks:
-            footer += struct.pack("<QQ", offset, n_rows)
-        shape = (sum(rows for _, rows in self._chunks),) + self._tail_shape
-        footer += struct.pack(f"<{len(shape)}Q", *shape)
+        for offset, n_bytes, n_rows in self._chunks:
+            footer += struct.pack("<QQQ", offset, n_bytes, n_rows)
+        shape = (sum(rows for _, _, rows in self._chunks),) + self._tail_shape
+        footer += struct.pack(f"<Q{len(shape)}Q", len(shape), *shape)
         footer += struct.pack("<Q", footer_offset)
         footer += _END_MAGIC
         self._handle.write(footer)
@@ -163,17 +184,30 @@ class CompressedStoreWriter:
 
 
 class CompressedStore:
-    """Read-only view of a chunked store file.
+    """Read-only view of a chunked store file (format versions 1 and 2).
 
-    Chunks are read lazily: opening the store parses only the settings header and
-    the chunk table.  :attr:`chunks_read` counts how many chunk records have been
+    Chunks are read lazily: opening the store parses only the header and the
+    chunk table.  :attr:`chunks_read` counts how many chunk records have been
     decoded, which the tests use to assert that region reads stay selective.
+
+    Attributes
+    ----------
+    codec_name:
+        Name of the registered codec whose streams the chunks hold
+        (``"pyblaz"`` for every version-1 file).
+    settings:
+        The shared :class:`CompressionSettings` for pyblaz-family stores
+        (parsed from the header for v1, recovered from the first chunk for v2),
+        ``None`` for stores of codecs without settings.
     """
 
     def __init__(self, path):
         self.path = Path(path)
         self._handle = open(self.path, "rb")
         self.chunks_read = 0
+        self._settings: CompressionSettings | None = None
+        self._settings_resolved = False
+        self._codec: Codec | None = None
         try:
             self._read_header_and_table()
         except Exception:
@@ -183,40 +217,63 @@ class CompressedStore:
     def _read_header_and_table(self) -> None:
         head = self._handle.read(len(STORE_MAGIC) + 1)
         if head[: len(STORE_MAGIC)] != STORE_MAGIC:
-            raise ValueError("not a PyBlaz chunked store (bad magic)")
-        (version,) = struct.unpack("<B", head[len(STORE_MAGIC) :])
-        if version != _STORE_VERSION:
-            raise ValueError(f"unsupported store version {version}")
-        # settings header: type codes + block geometry (identical encoding to the
-        # one-shot codec, minus the array shape, which lives in the footer)
+            raise CodecError("not a PyBlaz chunked store (bad magic)")
+        (self.version,) = struct.unpack("<B", head[len(STORE_MAGIC) :])
+        if self.version == 1:
+            self._read_v1_header()
+        elif self.version == 2:
+            (name_len,) = struct.unpack("<B", self._handle.read(1))
+            self.codec_name = self._handle.read(name_len).decode("ascii")
+        else:
+            raise CodecError(f"unsupported store version {self.version}")
+        self._read_table()
+
+    def _read_v1_header(self) -> None:
+        # v1 settings header: type codes + block geometry (identical encoding to
+        # the one-shot codec, minus the array shape, which lives in the footer)
+        self.codec_name = "pyblaz"
         fixed = self._handle.read(4)
         float_format, index_dtype, transform, ndim, _ = unpack_type_codes(fixed, 0)
         geometry = self._handle.read(8 * ndim + 4)
         (mask_nbytes,) = struct.unpack_from("<I", geometry, 8 * ndim)
         geometry += self._handle.read(mask_nbytes)
-        self.settings, _ = unpack_block_geometry(
+        self._settings, _ = unpack_block_geometry(
             geometry, 0, ndim, float_format, index_dtype, transform
         )
+        self._settings_resolved = True
 
+    def _read_table(self) -> None:
         self._handle.seek(-_TRAILER_BYTES, 2)
         trailer = self._handle.read(_TRAILER_BYTES)
         if trailer[8:] != _END_MAGIC:
-            raise ValueError("truncated or unfinalized PyBlaz chunked store (bad trailer)")
+            raise CodecError("truncated or unfinalized PyBlaz chunked store (bad trailer)")
         (footer_offset,) = struct.unpack_from("<Q", trailer, 0)
         self._handle.seek(footer_offset)
         footer = self._handle.read()
         (n_chunks,) = struct.unpack_from("<Q", footer, 0)
         pos = 8
-        self._chunks: list[tuple[int, int, int]] = []  # (offset, n_rows, row_start)
+        # (offset, n_bytes | None, n_rows, row_start); v1 derives byte counts
+        # from the settings instead of storing them
+        self._chunks: list[tuple[int, int | None, int, int]] = []
         row_start = 0
         for _ in range(n_chunks):
-            offset, n_rows = struct.unpack_from("<QQ", footer, pos)
-            pos += 16
-            self._chunks.append((offset, n_rows, row_start))
+            if self.version == 1:
+                offset, n_rows = struct.unpack_from("<QQ", footer, pos)
+                pos += 16
+                n_bytes: int | None = None
+            else:
+                offset, n_bytes, n_rows = struct.unpack_from("<QQQ", footer, pos)
+                pos += 24
+            self._chunks.append((offset, n_bytes, n_rows, row_start))
             row_start += n_rows
+        if self.version == 1:
+            ndim = self._settings.ndim
+        else:
+            (ndim,) = struct.unpack_from("<Q", footer, pos)
+            pos += 8
         self.shape = tuple(struct.unpack_from(f"<{ndim}Q", footer, pos))
         if self.shape[0] != row_start:
-            raise ValueError(
+            raise CodecError(
                 f"corrupt chunk table: chunk rows sum to {row_start}, "
                 f"stored shape is {self.shape}"
             )
@@ -233,13 +290,48 @@ class CompressedStore:
     @property
     def chunk_rows(self) -> tuple[int, ...]:
         """Row count of every chunk, in file order."""
-        return tuple(rows for _, rows, _ in self._chunks)
+        return tuple(rows for _, _, rows, _ in self._chunks)
+
+    @property
+    def settings(self) -> CompressionSettings | None:
+        if not self._settings_resolved:
+            # v2 stores carry settings inside each (self-describing) pyblaz
+            # chunk stream; peek at chunk 0 without counting it as read — but
+            # only for pyblaz-family codecs, so other codecs' stores never pay
+            # for a chunk decode just to learn there are no settings
+            if issubclass(get_codec_class(self.codec_name), PyBlazCodec):
+                chunk = self._decode_chunk(0)
+                self._settings = getattr(chunk, "settings", None)
+            self._settings_resolved = True
+        return self._settings
+
+    @property
+    def codec(self) -> Codec:
+        """A default instance of the store's codec (decoding needs no parameters)."""
+        if self._codec is None:
+            self._codec = get_codec(self.codec_name)
+        return self._codec
 
     # ------------------------------------------------------------------ chunk access
-    def read_chunk(self, index: int) -> CompressedArray:
-        """Decode chunk ``index`` into a :class:`CompressedArray` of its slab."""
-        offset, n_rows, _ = self._chunks[index]
-        settings = self.settings
+    def _decode_chunk(self, index: int):
+        offset, n_bytes, n_rows, _ = self._chunks[index]
+        try:
+            if self.version == 1:
+                return self._decode_v1_chunk(offset, n_rows)
+            self._handle.seek(offset)
+            data = self._handle.read(n_bytes)
+            return get_codec_class(self.codec_name).from_bytes(data)
+        except CodecError:
+            raise
+        except DECODE_ERRORS as exc:
+            # decoding failures on flipped/truncated payloads surface as the
+            # shared error type, so the CLI's exit-code contract holds
+            raise CodecError(
+                f"corrupt chunk {index} in {self.codec_name} store: {exc}"
+            ) from exc
+
+    def _decode_v1_chunk(self, offset: int, n_rows: int) -> CompressedArray:
+        settings = self._settings
         chunk_shape = (n_rows,) + self.shape[1:]
         n_blocks = settings.n_blocks(chunk_shape)
         maxima_nbytes = float_bytes(n_blocks, settings.float_format)
@@ -257,31 +349,63 @@ class CompressedStore:
         indices = indices.astype(settings.index_dtype).reshape(
             n_blocks, settings.kept_per_block
         )
-        self.chunks_read += 1
         return CompressedArray(
             settings=settings, shape=chunk_shape, maxima=maxima, indices=indices
         )
 
-    def iter_chunks(self) -> Iterator[CompressedArray]:
-        """Yield every chunk's :class:`CompressedArray` in row order."""
+    def read_chunk(self, index: int):
+        """Decode chunk ``index`` into the codec's compressed object of its slab."""
+        chunk = self._decode_chunk(index)
+        self.chunks_read += 1
+        return chunk
+
+    def iter_chunks(self) -> Iterator:
+        """Yield every chunk's compressed object in row order."""
         for index in range(self.n_chunks):
             yield self.read_chunk(index)
 
+    def decompress_chunk(self, chunk) -> np.ndarray:
+        """Decompress one chunk object with the store's codec.
+
+        Decompression failures on corrupt chunk contents are reported as
+        :class:`CodecError` like decoding failures.
+        """
+        try:
+            return self.codec.decompress(chunk)
+        except CodecError:
+            raise
+        except DECODE_ERRORS as exc:
+            raise CodecError(
+                f"corrupt chunk contents in {self.codec_name} store: {exc}"
+            ) from exc
+
     def load_compressed(self) -> CompressedArray:
-        """Assemble the full :class:`CompressedArray` (bit-identical to one-shot)."""
+        """Assemble the full :class:`CompressedArray` (bit-identical to one-shot).
+
+        Only meaningful for pyblaz stores, whose per-slab ``maxima``/``indices``
+        concatenate exactly; other codecs' chunks are independent streams.
+        """
         chunks = list(self.iter_chunks())
+        if not all(isinstance(chunk, CompressedArray) for chunk in chunks):
+            raise CodecError(
+                f"load_compressed assembles pyblaz chunks; this store holds "
+                f"{self.codec_name!r} streams — use load() or iter_chunks()"
+            )
         maxima = np.concatenate([chunk.maxima for chunk in chunks], axis=0)
         indices = np.concatenate([chunk.indices for chunk in chunks], axis=0)
         return CompressedArray(
-            settings=self.settings, shape=self.shape, maxima=maxima, indices=indices
+            settings=chunks[0].settings, shape=self.shape, maxima=maxima, indices=indices
         )
 
     # ------------------------------------------------------------------ decompression
     def load(self) -> np.ndarray:
         """Decompress the whole array, one chunk at a time."""
-        out = np.empty(self.shape, dtype=np.float64)
-        for (_, n_rows, row_start), chunk in zip(self._chunks, self.iter_chunks()):
-            out[row_start : row_start + n_rows] = Compressor(self.settings).decompress(chunk)
+        out: np.ndarray | None = None
+        for (_, _, n_rows, row_start), chunk in zip(self._chunks, self.iter_chunks()):
+            decompressed = self.decompress_chunk(chunk)
+            if out is None:
+                out = np.empty(self.shape, dtype=decompressed.dtype)
+            out[row_start : row_start + n_rows] = decompressed
         return out
 
     def load_region(self, region) -> np.ndarray:
@@ -317,7 +441,7 @@ class CompressedStore:
                 raise ValueError("load_region requires a positive step along axis 0")
 
         parts = []
-        for chunk_index, (_, n_rows, row_start) in enumerate(self._chunks):
+        for chunk_index, (_, _, n_rows, row_start) in enumerate(self._chunks):
             row_end = row_start + n_rows
             if row_end <= start or row_start >= stop:
                 continue
@@ -329,8 +453,7 @@ class CompressedStore:
             global_stop = min(stop, row_end)
             if global_first >= global_stop:
                 continue
-            chunk = self.read_chunk(chunk_index)
-            decompressed = Compressor(self.settings).decompress(chunk)
+            decompressed = self.decompress_chunk(self.read_chunk(chunk_index))
             local = slice(global_first - row_start, global_stop - row_start, step)
             parts.append(decompressed[(local,) + region[1:]])
 
@@ -352,9 +475,10 @@ class CompressedStore:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        described = self.settings.describe() if self.settings is not None else "-"
         return (
             f"CompressedStore(shape={self.shape}, chunks={self.n_chunks}, "
-            f"{self.settings.describe()})"
+            f"codec={self.codec_name}, {described})"
         )
 
 

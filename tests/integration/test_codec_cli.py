@@ -1,0 +1,245 @@
+"""End-to-end ``--codec`` coverage: every registered codec through the CLI, the
+``codecs`` listing, the CodecError exit code, and version-1 store compatibility."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.codecs import available_codecs, get_codec
+from repro.core import CompressionSettings, Compressor
+from repro.core.codec import pack_block_geometry, pack_floats, pack_type_codes
+from repro.streaming import ChunkedCompressor, CompressedStore, stream_compress
+from tests.conftest import smooth_field
+
+EXTRA_FLAGS = {
+    "pyblaz": ["--block", "4,4"],
+    "zfp": ["--bits", "16"],
+    "sz": ["--error-bound", "1e-7"],
+}
+
+
+@pytest.fixture
+def field() -> np.ndarray:
+    return smooth_field((24, 20), seed=9)
+
+
+@pytest.fixture
+def npy_in(tmp_path, field):
+    path = tmp_path / "in.npy"
+    np.save(path, field)
+    return path
+
+
+@pytest.mark.parametrize("codec_name", available_codecs())
+class TestEveryCodecThroughTheCLI:
+    def test_compress_decompress_roundtrip(self, tmp_path, npy_in, field, codec_name,
+                                           capsys):
+        stream = tmp_path / f"out.{codec_name}"
+        npy_out = tmp_path / "back.npy"
+        flags = ["--codec", codec_name] + EXTRA_FLAGS.get(codec_name, [])
+
+        assert main(["compress", str(npy_in), str(stream), *flags]) == 0
+        out = capsys.readouterr().out
+        assert f"codec {codec_name}" in out and "ratio" in out
+
+        assert main(["info", str(stream)]) == 0
+        assert f"codec: {codec_name}" in capsys.readouterr().out
+
+        assert main(["decompress", str(stream), str(npy_out)]) == 0
+        restored = np.load(npy_out)
+        assert restored.shape == field.shape
+        error = np.abs(restored - field).max()
+        assert error <= get_codec(codec_name).roundtrip_bound(field) + 1e-9
+
+    def test_stream_roundtrip(self, tmp_path, npy_in, field, codec_name, capsys):
+        store = tmp_path / f"out.{codec_name}.pblzc"
+        npy_out = tmp_path / "back.npy"
+        flags = ["--codec", codec_name] + EXTRA_FLAGS.get(codec_name, [])
+
+        assert main(["stream-compress", str(npy_in), str(store), *flags,
+                     "--slab-rows", "8"]) == 0
+        assert "chunks: 3" in capsys.readouterr().out  # ceil(24 / 8)
+
+        assert main(["info", str(store)]) == 0
+        info_out = capsys.readouterr().out
+        assert f"codec: {codec_name}" in info_out and "rows per chunk: 8, 8, 8" in info_out
+
+        assert main(["stream-decompress", str(store), str(npy_out)]) == 0
+        restored = np.load(npy_out)
+        assert restored.shape == field.shape
+        error = np.abs(restored - field).max()
+        assert error <= get_codec(codec_name).roundtrip_bound(field) + 1e-9
+
+    def test_region_decompress(self, tmp_path, npy_in, field, codec_name, capsys):
+        store = tmp_path / "out.pblzc"
+        region_out = tmp_path / "region.npy"
+        flags = ["--codec", codec_name] + EXTRA_FLAGS.get(codec_name, [])
+        assert main(["stream-compress", str(npy_in), str(store), *flags,
+                     "--slab-rows", "8"]) == 0
+        assert main(["stream-decompress", str(store), str(region_out),
+                     "--region", "9:15,2:11"]) == 0
+        capsys.readouterr()
+        region = np.load(region_out)
+        assert region.shape == (6, 9)
+        error = np.abs(region - field[9:15, 2:11]).max()
+        assert error <= get_codec(codec_name).roundtrip_bound(field) + 1e-9
+
+
+class TestCodecsListing:
+    def test_lists_every_registered_codec(self, capsys):
+        assert main(["codecs", "--no-probe"]) == 0
+        out = capsys.readouterr().out
+        for name in available_codecs():
+            assert name in out
+        assert "lossless" in out and "ndims" in out
+
+    def test_probe_ratio_column(self, capsys):
+        assert main(["codecs"]) == 0
+        out = capsys.readouterr().out
+        # at least the fixed-rate codec reports a measured ratio on the probe
+        zfp_line = next(line for line in out.splitlines() if line.startswith("zfp"))
+        assert any(char.isdigit() for char in zfp_line)
+
+
+class TestCodecErrorExitCode:
+    def test_unsupported_dimensionality_exits_3(self, tmp_path, capsys):
+        np.save(tmp_path / "cube.npy", np.zeros((4, 4, 4)))
+        code = main(["compress", str(tmp_path / "cube.npy"), str(tmp_path / "o"),
+                     "--codec", "blaz"])
+        assert code == 3
+        assert "codec error" in capsys.readouterr().err
+
+    def test_non_finite_input_exits_3(self, tmp_path, capsys):
+        np.save(tmp_path / "bad.npy", np.array([[np.nan, 1.0], [2.0, 3.0]]))
+        code = main(["compress", str(tmp_path / "bad.npy"), str(tmp_path / "o"),
+                     "--codec", "zfp"])
+        assert code == 3
+        assert "codec error" in capsys.readouterr().err
+
+    def test_unrecognized_stream_exits_3(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.bin"
+        garbage.write_bytes(b"\x07not any codec's magic")
+        code = main(["decompress", str(garbage), str(tmp_path / "o.npy")])
+        assert code == 3
+        assert "codec error" in capsys.readouterr().err
+
+    def test_usage_errors_still_exit_2(self, tmp_path, npy_in, capsys):
+        code = main(["compress", str(npy_in), str(tmp_path / "o"), "--block", "4,4,4"])
+        assert code == 2
+        assert "dimensionality" in capsys.readouterr().err
+
+    def test_truncated_one_shot_stream_exits_3(self, tmp_path, npy_in, capsys):
+        stream = tmp_path / "out.sz"
+        assert main(["compress", str(npy_in), str(stream), "--codec", "sz"]) == 0
+        capsys.readouterr()
+        stream.write_bytes(stream.read_bytes()[:40])
+        code = main(["decompress", str(stream), str(tmp_path / "o.npy")])
+        assert code == 3
+        assert "corrupt or truncated" in capsys.readouterr().err
+
+    def test_corrupt_store_chunk_exits_3(self, tmp_path, npy_in, capsys):
+        store = tmp_path / "out.szc"
+        assert main(["stream-compress", str(npy_in), str(store), "--codec", "sz"]) == 0
+        capsys.readouterr()
+        data = bytearray(store.read_bytes())
+        for i in range(30, 60):  # flip bytes inside the first chunk payload
+            data[i] ^= 0xFF
+        store.write_bytes(bytes(data))
+        code = main(["stream-decompress", str(store), str(tmp_path / "o.npy")])
+        assert code == 3
+        assert "corrupt" in capsys.readouterr().err
+        # the region path classifies it the same way, not as an invalid region
+        code = main(["stream-decompress", str(store), str(tmp_path / "o.npy"),
+                     "--region", "0:8"])
+        assert code == 3
+        assert "corrupt" in capsys.readouterr().err
+
+
+def _write_v1_store(path, settings: CompressionSettings, chunks) -> None:
+    """Emit the pre-refactor version-1 store layout byte for byte (settings
+    header, raw maxima/indices records, (offset, n_rows) chunk table)."""
+    with open(path, "wb") as handle:
+        handle.write(b"PBLZC" + struct.pack("<B", 1))
+        handle.write(pack_type_codes(settings, settings.ndim))
+        handle.write(pack_block_geometry(settings))
+        table = []
+        for chunk in chunks:
+            offset = handle.tell()
+            handle.write(pack_floats(chunk.maxima, settings.float_format))
+            handle.write(
+                np.ascontiguousarray(
+                    chunk.indices, dtype=settings.index_dtype.newbyteorder("<")
+                ).tobytes()
+            )
+            table.append((offset, chunk.shape[0]))
+        footer_offset = handle.tell()
+        footer = struct.pack("<Q", len(table))
+        for offset, n_rows in table:
+            footer += struct.pack("<QQ", offset, n_rows)
+        shape = (sum(rows for _, rows in table),) + chunks[0].shape[1:]
+        footer += struct.pack(f"<{len(shape)}Q", *shape)
+        footer += struct.pack("<Q", footer_offset)
+        footer += b"PBLZE"
+        handle.write(footer)
+
+
+class TestStoreFormatCompatibility:
+    def test_v1_store_reads_bit_identically(self, tmp_path, field):
+        """A pre-refactor (version 1) store still loads: same chunks, same array."""
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
+                                       index_dtype="int16")
+        compressor = Compressor(settings)
+        slabs = [field[0:8], field[8:16], field[16:24]]
+        chunks = [compressor.compress(slab) for slab in slabs]
+        path = tmp_path / "legacy.pblzc"
+        _write_v1_store(path, settings, chunks)
+
+        with CompressedStore(path) as store:
+            assert store.version == 1
+            assert store.codec_name == "pyblaz"
+            assert store.shape == field.shape
+            assert store.chunk_rows == (8, 8, 8)
+            assert store.settings.describe() == settings.describe()
+            reference = compressor.compress(field)
+            assembled = store.load_compressed()
+            assert np.array_equal(assembled.maxima, reference.maxima)
+            assert np.array_equal(assembled.indices, reference.indices)
+            assert np.array_equal(store.load(), compressor.decompress(reference))
+
+    def test_v1_store_through_the_cli(self, tmp_path, field):
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
+                                       index_dtype="int16")
+        chunks = [Compressor(settings).compress(field[i : i + 8]) for i in (0, 8, 16)]
+        path = tmp_path / "legacy.pblzc"
+        _write_v1_store(path, settings, chunks)
+        out = tmp_path / "back.npy"
+        assert main(["stream-decompress", str(path), str(out)]) == 0
+        expected = Compressor(settings).decompress(Compressor(settings).compress(field))
+        assert np.array_equal(np.load(out), expected)
+
+    def test_v2_store_records_codec_name(self, tmp_path, field):
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
+                                       index_dtype="int16")
+        with ChunkedCompressor(settings, slab_rows=8).compress_to_store(
+            field, tmp_path / "v2.pblzc"
+        ) as store:
+            assert store.version == 2
+            assert store.codec_name == "pyblaz"
+            assert store.settings is not None
+
+    def test_v2_store_holds_any_registered_codec(self, tmp_path, field):
+        for name in available_codecs():
+            path = tmp_path / f"{name}.pblzc"
+            with stream_compress(field, path, name, slab_rows=8) as store:
+                assert store.codec_name == name
+                assert store.chunk_rows[0] == 8
+                restored = store.load()
+                bound = get_codec(name).roundtrip_bound(field)
+                assert np.abs(restored - field).max() <= bound + 1e-9
+
+    def test_load_compressed_rejects_non_pyblaz_stores(self, tmp_path, field):
+        with stream_compress(field, tmp_path / "z.pblzc", "zfp", slab_rows=8) as store:
+            with pytest.raises(ValueError, match="pyblaz chunks"):
+                store.load_compressed()
