@@ -8,6 +8,9 @@ The package is organised as:
 * :mod:`repro.numerics` — reduced-precision floating-point emulation.
 * :mod:`repro.codecs` — the uniform :class:`Codec` protocol + string-keyed
   registry every compressor (core and baselines alike) is reachable through.
+* :mod:`repro.kernels` — the kernel-backend registry selecting how the
+  transform+binning hot loop executes: bit-exact ``reference``, BLAS ``gemm``,
+  or JIT ``numba``.
 * :mod:`repro.baselines` — Blaz, ZFP-like and SZ-like comparison compressors.
 * :mod:`repro.simulators` — shallow-water, MRI-like and fission-like data generators.
 * :mod:`repro.analysis` — uncompressed reference operations and error metrics.
@@ -47,9 +50,15 @@ from .codecs import (
     register_codec,
 )
 from .core.exceptions import CodecError
+from .kernels import (
+    KernelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .streaming import ChunkedCompressor, CompressedStore
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CompressionSettings",
@@ -63,6 +72,10 @@ __all__ = [
     "register_codec",
     "get_codec",
     "available_codecs",
+    "KernelBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
     "ops",
     "serialize",
     "deserialize",

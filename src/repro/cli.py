@@ -12,6 +12,9 @@ Subcommands
                       from a chunked store, one chunk at a time.
 ``codecs``            List every registered codec with its capabilities and its
                       compression ratio on a standard 256×256 float64 probe.
+``backends``          List every registered kernel backend (the execution
+                      strategy of the transform+binning hot loop) with its
+                      availability and exactness contract.
 ``info``              Print the header, settings and ratio of a codec stream or
                       chunked store.
 ``experiment``        Run one of the paper-reproduction experiments and print its
@@ -27,11 +30,13 @@ Examples
 ::
 
     repro compress input.npy output.pblz --block 4,4,4 --float float32 --index int16
+    repro compress input.npy output.pblz --backend gemm
     repro compress input.npy output.zfp --codec zfp --bits 16
     repro decompress output.zfp roundtrip.npy
     repro stream-compress input.npy output.pblzc --codec sz --error-bound 1e-6
     repro stream-decompress output.pblzc roundtrip.npy --region 0:32,:,:
     repro codecs
+    repro backends
     repro info output.pblz
     repro experiment table1
 """
@@ -49,6 +54,12 @@ from .codecs.serialization import DECODE_ERRORS
 from .core import CompressionSettings
 from .core.codec import compressed_size_bits, compression_ratio
 from .core.exceptions import CodecError
+from .kernels import (
+    DEFAULT_BACKEND,
+    available_backends,
+    backend_is_available,
+    get_backend_class,
+)
 from .streaming import ChunkedCompressor, CompressedStore, stream_compress
 from .streaming.store import STORE_MAGIC
 
@@ -110,6 +121,9 @@ def _add_codec_options(parser: argparse.ArgumentParser) -> None:
                         help="pyblaz bin-index type")
     parser.add_argument("--transform", default="dct", choices=["dct", "haar", "identity"],
                         help="pyblaz orthonormal transform")
+    parser.add_argument("--backend", default=None, choices=list(available_backends()),
+                        help="pyblaz kernel backend for the transform+binning hot loop "
+                             "(default: reference, the bit-exact path; see `repro backends`)")
     parser.add_argument("--bits", type=int, default=16,
                         help="zfp fixed rate in bits per value")
     parser.add_argument("--error-bound", type=float, default=1e-6,
@@ -136,6 +150,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_decompress.add_argument("output", help="output .npy file")
     p_decompress.add_argument("--codec", default=None, choices=list(available_codecs()),
                               help="override the codec detected from the stream magic")
+    p_decompress.add_argument("--backend", default=None, choices=list(available_backends()),
+                              help="kernel backend for the inverse transform (pyblaz only)")
 
     p_stream = sub.add_parser(
         "stream-compress",
@@ -159,10 +175,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_unstream.add_argument("--region", type=_parse_region, default=None,
                             help="numpy-style region, e.g. 0:32,:,4 "
                                  "(only intersecting chunks are read)")
+    p_unstream.add_argument("--backend", default=None, choices=list(available_backends()),
+                            help="kernel backend for chunk decompression (pyblaz stores only)")
 
     p_codecs = sub.add_parser("codecs", help="list registered codecs and their capabilities")
     p_codecs.add_argument("--no-probe", action="store_true",
                           help="skip measuring ratios on the 256x256 float64 probe")
+
+    sub.add_parser("backends", help="list registered kernel backends and their contracts")
 
     p_info = sub.add_parser("info", help="describe a compressed stream or chunked store")
     p_info.add_argument("input", help="compressed stream or chunked store")
@@ -176,9 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
 def _build_codec(args: argparse.Namespace, ndim: int):
     """Instantiate the requested codec from its CLI knobs.
 
-    Returns ``None`` (after printing to stderr) for the pyblaz block/array
-    dimensionality mismatch, which is a usage error (exit 2), not a codec error.
+    Returns ``None`` (after printing to stderr) for usage errors (exit 2, not
+    a codec error): the pyblaz block/array dimensionality mismatch, or
+    ``--backend`` combined with a codec that has no kernel backends.
     """
+    if args.codec != "pyblaz" and getattr(args, "backend", None) is not None:
+        print(f"error: --backend applies to the pyblaz codec, not {args.codec!r}",
+              file=sys.stderr)
+        return None
     if args.codec == "pyblaz":
         block = args.block
         if len(block) != ndim:
@@ -192,8 +217,9 @@ def _build_codec(args: argparse.Namespace, ndim: int):
             float_format=args.float_format,
             index_dtype=args.index_dtype,
             transform=args.transform,
+            backend=args.backend or DEFAULT_BACKEND,
         )
-        return get_codec("pyblaz", settings=settings)
+        return get_codec("pyblaz", settings=settings, backend=args.backend)
     if args.codec == "zfp":
         return get_codec("zfp", bits_per_value=args.bits)
     if args.codec == "sz":
@@ -239,7 +265,11 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as handle:
         data = handle.read()
     name = args.codec or detect_codec(data)
-    array = get_codec(name).decompress(_decode_stream(name, data))
+    if args.backend is not None and name != "pyblaz":
+        print(f"error: --backend applies to the pyblaz codec, not {name!r}", file=sys.stderr)
+        return 2
+    params = {"backend": args.backend} if args.backend is not None else {}
+    array = get_codec(name, **params).decompress(_decode_stream(name, data))
     np.save(args.output, array)
     print(f"decompressed {args.input} -> {args.output} {array.shape} (codec {name})")
     return 0
@@ -251,9 +281,11 @@ def _cmd_stream_compress(args: argparse.Namespace) -> int:
     if codec is None:
         return 2
     if args.codec == "pyblaz":
-        # the exact (bit-identical to one-shot) path, with optional process fan-out
+        # bit-identical to one-shot under the default reference backend, with
+        # optional process fan-out; --backend opts into the faster kernels
         chunked = ChunkedCompressor(
-            codec.settings, slab_rows=args.slab_rows, n_workers=args.workers
+            codec.settings, slab_rows=args.slab_rows, n_workers=args.workers,
+            backend=args.backend,
         )
         with chunked.compress_to_store(array, args.output) as store:
             ratio = compression_ratio(
@@ -275,6 +307,14 @@ def _cmd_stream_compress(args: argparse.Namespace) -> int:
 
 def _cmd_stream_decompress(args: argparse.Namespace) -> int:
     with CompressedStore(args.input) as store:
+        if args.backend is not None:
+            if store.codec_name != "pyblaz":
+                print(
+                    f"error: --backend applies to pyblaz stores, not {store.codec_name!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            store.use_codec(get_codec("pyblaz", backend=args.backend))
         if args.region is not None:
             try:
                 array = store.load_region(args.region)
@@ -323,6 +363,21 @@ def _cmd_codecs(args: argparse.Namespace) -> int:
         ops = ",".join(caps.compressed_ops) if caps.compressed_ops else "-"
         ndims = ",".join(map(str, caps.ndims))
         print(f"{name:10s} {ndims:8s} {'yes' if caps.lossless else 'no':9s} {ratio}  {ops}")
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    header = f"{'backend':10s} {'available':10s} {'bit-exact':10s} description"
+    print(header)
+    print("-" * len(header))
+    for name in available_backends():
+        cls = get_backend_class(name)
+        if backend_is_available(name):
+            availability = "yes"
+        else:
+            availability = f"no ({cls.unavailable_reason()})"
+        exact = "yes" if cls.bit_exact else "no"
+        print(f"{name:10s} {availability:10s} {exact:10s} {cls.summary}")
     return 0
 
 
@@ -392,6 +447,7 @@ def main(argv: list[str] | None = None) -> int:
         "stream-compress": _cmd_stream_compress,
         "stream-decompress": _cmd_stream_decompress,
         "codecs": _cmd_codecs,
+        "backends": _cmd_backends,
         "info": _cmd_info,
         "experiment": _cmd_experiment,
     }

@@ -38,6 +38,10 @@ class PyBlazCodec(Codec):
     block_extent, float_format, index_dtype, transform:
         Per-dimension block extent and the remaining pipeline knobs used when
         ``settings`` is not given.
+    backend:
+        Kernel backend executing the hot loop (see :mod:`repro.kernels`).
+        Overrides ``settings.backend`` when both are given; applies to both
+        compression and decompression of this instance.
     """
 
     name: ClassVar[str] = "pyblaz"
@@ -63,8 +67,10 @@ class PyBlazCodec(Codec):
         float_format: str = "float32",
         index_dtype: str = "int16",
         transform: str = "dct",
+        backend: str | None = None,
     ):
         self.settings = settings
+        self.backend = str(backend).lower() if backend is not None else None
         self._block_extent = int(block_extent)
         self._defaults = {
             "float_format": float_format,
@@ -82,13 +88,14 @@ class PyBlazCodec(Codec):
     # ------------------------------------------------------------------ protocol
     def compress(self, array: np.ndarray) -> CompressedArray:
         array = self.validate_input(array)
-        return Compressor(self._settings_for(array.ndim)).compress(array)
+        return Compressor(self._settings_for(array.ndim), backend=self.backend).compress(array)
 
     def decompress(self, compressed: CompressedArray) -> np.ndarray:
         # the compressed form carries its settings, so decompression never
         # depends on this instance's configuration (the streaming store relies
-        # on this when it decodes chunks knowing only the codec name)
-        return Compressor(compressed.settings).decompress(compressed)
+        # on this when it decodes chunks knowing only the codec name) — except
+        # the kernel backend, a pure execution choice of this instance
+        return Compressor(compressed.settings, backend=self.backend).decompress(compressed)
 
     def to_bytes(self, compressed: CompressedArray) -> bytes:
         return core_codec.serialize(compressed)

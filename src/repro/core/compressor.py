@@ -28,9 +28,9 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..kernels import get_backend
 from ..numerics import round_to_format
 from .blocking import block_array, crop_to_shape, unblock_array
-from .binning import bin_coefficients
 from .compressed import CompressedArray
 from .exceptions import CodecError
 from .pruning import flatten_kept, unflatten_kept
@@ -53,7 +53,13 @@ class Compressor:
     executor:
         Optional :class:`repro.parallel.BlockExecutor`; when given, the transform and
         binning steps are applied chunk-by-chunk over the block grid, possibly in
-        worker threads.  Results are identical to the vectorized path.
+        worker threads.  Results are identical to the vectorized path under the
+        bit-exact ``reference`` backend.
+    backend:
+        Optional kernel-backend name (see :mod:`repro.kernels`) overriding
+        ``settings.backend``.  Precedence: an executor constructed with its own
+        backend wins, then this argument, then the settings field (default
+        ``"reference"``).
 
     Notes
     -----
@@ -63,10 +69,17 @@ class Compressor:
     :mod:`repro.core.ops`.
     """
 
-    def __init__(self, settings: CompressionSettings, executor: "BlockExecutor | None" = None):
+    def __init__(
+        self,
+        settings: CompressionSettings,
+        executor: "BlockExecutor | None" = None,
+        backend: str | None = None,
+    ):
         self.settings = settings
         self.transform = get_transform(settings.transform, settings.block_shape)
         self.executor = executor
+        self.backend = str(backend).lower() if backend is not None else settings.backend
+        self.kernel = get_backend(self.backend)
 
     # ------------------------------------------------------------------ compression
     def compress(self, array: np.ndarray) -> CompressedArray:
@@ -80,7 +93,11 @@ class Compressor:
             )
         if array.size == 0:
             raise CodecError("cannot compress an empty array")
-        if not np.all(np.isfinite(np.asarray(array, dtype=np.float64))):
+        # Check finiteness on the input's native dtype — no float64 staging copy;
+        # round_to_format below is then the single materialisation of the array.
+        if array.dtype.kind not in "fiu":
+            array = np.asarray(array, dtype=np.float64)
+        if not np.all(np.isfinite(array)):
             raise CodecError(
                 "input contains non-finite values; PyBlaz's binning step cannot "
                 "represent infinities or NaNs"
@@ -100,15 +117,14 @@ class Compressor:
         # Step 2: blocking (zero-pad + reshape).
         blocked = block_array(lowered, settings.block_shape)
 
-        # Steps 3-4: orthonormal transform then binning, optionally chunked.
+        # Steps 3-4: the fused transform+binning kernel, optionally chunked.
         if self.executor is not None:
             maxima, indices_blocked = self.executor.transform_and_bin(
-                blocked, self.transform, settings
+                blocked, self.transform, settings, kernel=self.kernel
             )
         else:
-            coefficients = self.transform.forward(blocked)
-            maxima, indices_blocked = bin_coefficients(
-                coefficients, settings.ndim, settings.index_dtype
+            maxima, indices_blocked = self.kernel.transform_and_bin(
+                blocked, self.transform, settings
             )
 
         # The stored per-block maxima live at the working float precision (§IV-C
@@ -151,9 +167,11 @@ class Compressor:
 
         # Undo the transform, optionally chunked.
         if self.executor is not None:
-            blocked = self.executor.inverse_transform(coefficients, transform, settings)
+            blocked = self.executor.inverse_transform(
+                coefficients, transform, settings, kernel=self.kernel
+            )
         else:
-            blocked = transform.inverse(coefficients)
+            blocked = self.kernel.inverse_transform(coefficients, transform, settings)
 
         # Undo blocking and padding.
         padded = unblock_array(blocked, settings.block_shape)

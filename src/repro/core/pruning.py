@@ -145,6 +145,10 @@ def flatten_kept(blocked: np.ndarray, mask: np.ndarray) -> np.ndarray:
     grid_shape = blocked.shape[:-block_ndim]
     n_blocks = int(np.prod(grid_shape)) if grid_shape else 1
     flat_blocks = blocked.reshape(n_blocks, -1)
+    if mask.all():
+        # keep-everything masks make the boolean gather an identity; skip the
+        # full-array fancy-indexing copy (the common unpruned configuration)
+        return flat_blocks
     return flat_blocks[:, mask.ravel()]
 
 
@@ -180,6 +184,10 @@ def unflatten_kept(
             f"flat array shape {flat.shape} does not match (n_blocks={n_blocks}, kept={kept})"
         )
     out_dtype = dtype if dtype is not None else flat.dtype
+    if kept == mask.size:
+        # nothing was pruned: every position is filled from flat, so the
+        # scatter is a reshape (plus at most a dtype cast)
+        return flat.astype(out_dtype, copy=False).reshape(grid_shape + mask.shape)
     blocks = np.full((n_blocks, mask.size), fill_value, dtype=out_dtype)
     blocks[:, mask.ravel()] = flat
     return blocks.reshape(grid_shape + mask.shape)

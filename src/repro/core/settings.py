@@ -77,6 +77,12 @@ class CompressionSettings:
     pruning_mask:
         Boolean array shaped like ``block_shape``; ``True`` marks coefficient
         indices that are *kept*.  ``None`` means keep everything.
+    backend:
+        Name of the kernel backend executing the transform+binning hot loop
+        (see :mod:`repro.kernels`): ``"reference"`` (default, bit-exact),
+        ``"gemm"`` or ``"numba"``.  An execution detail, not a property of the
+        compressed form — it is excluded from equality/compatibility and never
+        serialized, so streams produced under any backend interoperate.
     """
 
     block_shape: tuple[int, ...]
@@ -84,6 +90,7 @@ class CompressionSettings:
     index_dtype: np.dtype = field(default=np.dtype(np.int16))
     transform: str = "dct"
     pruning_mask: np.ndarray | None = None
+    backend: str = field(default="reference", compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "block_shape", _normalize_block_shape(self.block_shape))
@@ -99,6 +106,17 @@ class CompressionSettings:
         if transform not in ("dct", "haar", "identity"):
             raise CodecError(f"unknown transform {self.transform!r}")
         object.__setattr__(self, "transform", transform)
+        backend = str(self.backend).lower()
+        # imported lazily: repro.kernels registers the built-in backends on
+        # import and must not be a module-level dependency of core.settings
+        from ..kernels import available_backends
+
+        if backend not in available_backends():
+            raise CodecError(
+                f"unknown kernel backend {self.backend!r}; registered backends: "
+                f"{', '.join(available_backends())}"
+            )
+        object.__setattr__(self, "backend", backend)
         if self.pruning_mask is not None:
             mask = np.asarray(self.pruning_mask, dtype=bool)
             if mask.shape != self.block_shape:
@@ -197,8 +215,9 @@ class CompressionSettings:
     def describe(self) -> str:
         """One-line human-readable description used by experiment harnesses."""
         pruned = self.block_size - self.kept_per_block
+        backend = "" if self.backend == "reference" else f" backend={self.backend}"
         return (
             f"block={'x'.join(map(str, self.block_shape))} "
             f"float={self.float_format.name} index={self.index_dtype.name} "
-            f"transform={self.transform} pruned={pruned}/{self.block_size}"
+            f"transform={self.transform} pruned={pruned}/{self.block_size}{backend}"
         )

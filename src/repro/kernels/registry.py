@@ -1,0 +1,112 @@
+"""String-keyed kernel-backend registry with lazy imports.
+
+Mirrors :mod:`repro.codecs.registry`: registration stores only a
+``"module:ClassName"`` spec (or an already-imported class), so listing backends
+never imports the implementation modules — in particular the optional ``numba``
+backend's module is only imported when actually requested.
+:func:`get_backend_class` resolves the spec on first use and caches the class.
+
+Backends may be registered but *unavailable* (a missing optional dependency):
+:func:`available_backends` lists every registered name so callers can report
+availability, while :func:`get_backend` refuses to instantiate an unavailable
+backend with a pointed :class:`repro.core.exceptions.CodecError`.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from ..core.exceptions import CodecError
+from .base import KernelBackend
+
+__all__ = [
+    "register_backend",
+    "get_backend",
+    "get_backend_class",
+    "available_backends",
+    "backend_is_available",
+]
+
+#: name -> spec; spec is a "module:attr" string or a KernelBackend subclass.
+_REGISTRY: dict[str, object] = {}
+
+#: name -> shared stateless instance (backends take no constructor parameters).
+_INSTANCES: dict[str, KernelBackend] = {}
+
+
+def register_backend(name: str, backend: "str | type[KernelBackend]") -> None:
+    """Register a kernel backend under ``name``.
+
+    ``backend`` is either a :class:`KernelBackend` subclass or a lazy
+    ``"package.module:ClassName"`` spec; the latter defers the import until
+    :func:`get_backend_class`.  Re-registering an existing name replaces it
+    (useful for tests and for overriding a built-in with a tuned third-party
+    implementation).
+    """
+    if not name or not name.replace("_", "").replace("-", "").isalnum():
+        raise CodecError(f"backend name must be a non-empty identifier, got {name!r}")
+    if isinstance(backend, str):
+        if ":" not in backend:
+            raise CodecError(
+                f"lazy backend spec must look like 'package.module:ClassName', got {backend!r}"
+            )
+    elif not (isinstance(backend, type) and issubclass(backend, KernelBackend)):
+        raise CodecError(
+            f"backend must be a KernelBackend subclass or a 'module:ClassName' string, "
+            f"got {backend!r}"
+        )
+    _REGISTRY[name.lower()] = backend
+    _INSTANCES.pop(name.lower(), None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names of every registered backend (including unavailable ones)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend_class(name: str) -> "type[KernelBackend]":
+    """Resolve ``name`` to its :class:`KernelBackend` subclass, importing lazily."""
+    try:
+        spec = _REGISTRY[name.lower()]
+    except KeyError:
+        raise CodecError(
+            f"unknown kernel backend {name!r}; registered backends: "
+            f"{', '.join(available_backends())}"
+        ) from None
+    if isinstance(spec, str):
+        module_name, _, attr = spec.partition(":")
+        try:
+            resolved = getattr(importlib.import_module(module_name), attr)
+        except (ImportError, AttributeError) as exc:
+            raise CodecError(f"backend {name!r} failed to import from {spec!r}: {exc}") from exc
+        if not (isinstance(resolved, type) and issubclass(resolved, KernelBackend)):
+            raise CodecError(f"backend spec {spec!r} did not resolve to a KernelBackend subclass")
+        # cache the resolved class so later lookups skip the import machinery
+        _REGISTRY[name.lower()] = resolved
+        spec = resolved
+    return spec
+
+
+def backend_is_available(name: str) -> bool:
+    """Whether the backend registered under ``name`` can run here."""
+    return get_backend_class(name).is_available()
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Return the (shared, stateless) backend instance registered under ``name``.
+
+    Raises :class:`CodecError` for unknown names and for registered-but-
+    unavailable backends (e.g. ``numba`` without numba installed), naming the
+    missing dependency.
+    """
+    key = name.lower()
+    instance = _INSTANCES.get(key)
+    if instance is not None:
+        return instance
+    cls = get_backend_class(key)
+    if not cls.is_available():
+        reason = cls.unavailable_reason() or "unavailable in this environment"
+        raise CodecError(f"kernel backend {key!r} is unavailable: {reason}")
+    instance = cls()
+    _INSTANCES[key] = instance
+    return instance

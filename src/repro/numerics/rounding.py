@@ -56,6 +56,12 @@ def round_to_format(values: np.ndarray, fmt: FloatFormat | str) -> np.ndarray:
         Target format or its name.
     """
     fmt = resolve_format(fmt)
+    values = np.asarray(values)
+    if fmt.numpy_dtype is not None and values.dtype == fmt.numpy_dtype:
+        # already exactly representable in fmt: the round-trip cast is the
+        # identity, so a single widening cast suffices (hot-path shortcut for
+        # e.g. float32 inputs compressed at float32 working precision)
+        return values.astype(np.float64)
     arr = np.asarray(values, dtype=np.float64)
     if fmt is FLOAT64 or fmt.name == "float64":
         return arr.copy()

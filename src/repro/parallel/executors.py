@@ -1,9 +1,16 @@
 """Execution backends for the transform/binning stages of the compressor.
 
-The compressor's hot loop is "for every block: transform, then bin".  The three
-executors here realise that loop in different ways while producing bit-identical
-results, which lets the benchmarks isolate the cost of execution strategy from the
-cost of the algorithm — the same distinction the paper draws between GPU PyBlaz and
+The compressor's hot loop is "for every block: transform, then bin".  The
+executors here realise that loop in different *scheduling* strategies (one
+vectorized call, a thread pool, a process pool, a per-block Python loop), while
+the *numeric* strategy — how each chunk's transform+binning is actually
+computed — is delegated to a :class:`repro.kernels.KernelBackend` (see the
+module docstring of :mod:`repro.kernels` for the backend catalogue and the
+exactness-vs-speed contract).  Scheduling and numerics compose freely: any
+executor can drive any kernel backend.  Under the bit-exact ``reference``
+backend every executor produces bit-identical results, which lets the
+benchmarks isolate the cost of execution strategy from the cost of the
+algorithm — the same distinction the paper draws between GPU PyBlaz and
 single-threaded Blaz.
 """
 
@@ -11,13 +18,16 @@ from __future__ import annotations
 
 import abc
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
-from ..core.binning import bin_coefficients, block_maxima, scale_to_indices
 from ..core.settings import CompressionSettings
 from ..core.transforms import Transform, get_transform
+from ..kernels import DEFAULT_BACKEND, get_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..kernels import KernelBackend
 
 __all__ = [
     "BlockExecutor",
@@ -26,7 +36,13 @@ __all__ = [
     "ProcessExecutor",
     "LoopExecutor",
     "chunk_slices",
+    "MIN_CHUNK_ELEMENTS",
 ]
+
+#: Minimum number of array elements per chunk before fanning out is worthwhile:
+#: below this the pool dispatch overhead dwarfs the numpy work, so executors
+#: reduce their chunk count (down to one, i.e. serial in the calling thread).
+MIN_CHUNK_ELEMENTS = 1 << 16
 
 
 def chunk_slices(n_items: int, n_chunks: int) -> Iterator[slice]:
@@ -52,7 +68,25 @@ def chunk_slices(n_items: int, n_chunks: int) -> Iterator[slice]:
 
 
 class BlockExecutor(abc.ABC):
-    """Interface the compressor uses to run the per-block pipeline stages."""
+    """Interface the compressor uses to run the per-block pipeline stages.
+
+    Every executor accepts an optional ``backend`` name at construction and an
+    optional ``kernel`` instance per call (the compressor passes its own).  The
+    constructor backend wins when both are given, so an explicitly configured
+    executor keeps its numeric strategy regardless of which compressor drives it.
+    """
+
+    def __init__(self, backend: str | None = None):
+        self.backend = str(backend).lower() if backend is not None else None
+        if self.backend is not None:
+            get_backend(self.backend)  # fail fast on unknown/unavailable names
+
+    def _resolve_kernel(self, kernel: "KernelBackend | None") -> "KernelBackend":
+        if self.backend is not None:
+            return get_backend(self.backend)
+        if kernel is not None:
+            return kernel
+        return get_backend(DEFAULT_BACKEND)
 
     @abc.abstractmethod
     def transform_and_bin(
@@ -60,6 +94,7 @@ class BlockExecutor(abc.ABC):
         blocked: np.ndarray,
         transform: Transform,
         settings: CompressionSettings,
+        kernel: "KernelBackend | None" = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(maxima, blocked_indices)`` for a blocked data array."""
 
@@ -69,6 +104,7 @@ class BlockExecutor(abc.ABC):
         coefficients: np.ndarray,
         transform: Transform,
         settings: CompressionSettings,
+        kernel: "KernelBackend | None" = None,
     ) -> np.ndarray:
         """Return the blocked data reconstructed from blocked coefficients."""
 
@@ -76,61 +112,104 @@ class BlockExecutor(abc.ABC):
 class SerialExecutor(BlockExecutor):
     """Vectorized single-call execution over the whole block grid (the default path)."""
 
-    def transform_and_bin(self, blocked, transform, settings):
-        coefficients = transform.forward(blocked)
-        return bin_coefficients(coefficients, settings.ndim, settings.index_dtype)
+    def transform_and_bin(self, blocked, transform, settings, kernel=None):
+        return self._resolve_kernel(kernel).transform_and_bin(blocked, transform, settings)
 
-    def inverse_transform(self, coefficients, transform, settings):
-        return transform.inverse(coefficients)
+    def inverse_transform(self, coefficients, transform, settings, kernel=None):
+        return self._resolve_kernel(kernel).inverse_transform(coefficients, transform, settings)
+
+
+def _kernel_chunk(
+    kernel: "KernelBackend",
+    transform_name: str,
+    block_shape: tuple[int, ...],
+    settings: CompressionSettings,
+    inverse: bool,
+    chunk: np.ndarray,
+):
+    """Picklable work unit shared by the pool executors.
+
+    The kernel instance itself crosses the process boundary (backends are
+    stateless, and pickling resolves the class by module path, so third-party
+    backends registered only in the parent process still work); the transform
+    is rebuilt from its name — cached per process, a dictionary hit after the
+    first chunk.
+    """
+    transform = get_transform(transform_name, block_shape)
+    if inverse:
+        return kernel.inverse_transform(chunk, transform, settings)
+    return kernel.transform_and_bin(chunk, transform, settings)
 
 
 class _ChunkingExecutor(BlockExecutor):
-    """Shared machinery for executors that flatten the grid and process chunks."""
+    """Shared machinery for executors that flatten the grid and process chunks.
 
-    def __init__(self, n_chunks: int):
+    Per-chunk execution is safe for *every* kernel backend: each block's
+    computation is independent, and the per-block maxima/indices of a chunk are
+    exactly the corresponding rows of the whole-grid result (bit-identical for
+    ``reference``; within the same documented tolerance for the fast backends).
+    """
+
+    def __init__(self, n_chunks: int, backend: str | None = None):
+        super().__init__(backend)
         if n_chunks < 1:
             raise ValueError("n_chunks must be positive")
         self.n_chunks = int(n_chunks)
 
-    # -- mapping helpers -----------------------------------------------------
-    def _map_chunks(self, func, flat: np.ndarray, out: np.ndarray) -> None:
-        """Apply ``func`` to each chunk of the leading axis, writing into ``out``."""
+    def _effective_chunks(self, flat: np.ndarray) -> int:
+        """Chunk count scaled down so each chunk keeps ≥ MIN_CHUNK_ELEMENTS work.
+
+        Small arrays degrade to a single chunk — executed serially in the
+        calling thread with no pool at all — so wrapping a small compression in
+        a pooled executor never costs more than the serial path.
+        """
+        by_size = max(1, flat.size // MIN_CHUNK_ELEMENTS)
+        return max(1, min(self.n_chunks, by_size))
+
+    def _map_chunks(self, jobs: "list[tuple[slice, tuple]]", write) -> None:
+        """Run ``_kernel_chunk(*args)`` for each ``(slice, args)`` job and hand
+        ``(slice, result)`` to ``write``.  Subclasses choose the scheduling."""
         raise NotImplementedError
 
-    def _map_transform(
-        self, flat: np.ndarray, out: np.ndarray, transform: Transform, inverse: bool
-    ) -> None:
-        """Apply ``transform`` chunk-by-chunk over the leading axis into ``out``.
-
-        The default routes through :meth:`_map_chunks` with a closure; executors
-        that cross process boundaries override this with a picklable work unit.
-        """
-        apply = transform.inverse if inverse else transform.forward
-
-        def work(chunk: np.ndarray) -> np.ndarray:
-            return apply(chunk)
-
-        self._map_chunks(work, flat, out)
-
-    def transform_and_bin(self, blocked, transform, settings):
+    def transform_and_bin(self, blocked, transform, settings, kernel=None):
+        kernel_obj = self._resolve_kernel(kernel)
         ndim = settings.ndim
         grid_shape = blocked.shape[:-ndim] if blocked.ndim > ndim else ()
         n_blocks = int(np.prod(grid_shape)) if grid_shape else 1
         flat = np.ascontiguousarray(blocked).reshape((n_blocks,) + settings.block_shape)
-        coefficients = np.empty_like(flat, dtype=np.float64)
-        self._map_transform(flat, coefficients, transform, inverse=False)
-        flat_maxima = block_maxima(coefficients, ndim)
-        indices = scale_to_indices(coefficients, flat_maxima, ndim, settings.index_dtype)
-        maxima = flat_maxima.reshape(grid_shape)
-        return maxima, indices.reshape(grid_shape + settings.block_shape)
+        maxima = np.empty(n_blocks, dtype=np.float64)
+        indices = np.empty(flat.shape, dtype=settings.index_dtype)
 
-    def inverse_transform(self, coefficients, transform, settings):
+        jobs = [
+            (sl, (kernel_obj, transform.name, transform.block_shape, settings, False, flat[sl]))
+            for sl in chunk_slices(n_blocks, self._effective_chunks(flat))
+        ]
+
+        def write(sl: slice, result) -> None:
+            chunk_maxima, chunk_indices = result
+            maxima[sl] = chunk_maxima
+            indices[sl] = chunk_indices
+
+        self._map_chunks(jobs, write)
+        return maxima.reshape(grid_shape), indices.reshape(grid_shape + settings.block_shape)
+
+    def inverse_transform(self, coefficients, transform, settings, kernel=None):
+        kernel_obj = self._resolve_kernel(kernel)
         ndim = settings.ndim
         grid_shape = coefficients.shape[:-ndim] if coefficients.ndim > ndim else ()
         n_blocks = int(np.prod(grid_shape)) if grid_shape else 1
         flat = np.ascontiguousarray(coefficients).reshape((n_blocks,) + settings.block_shape)
-        out = np.empty_like(flat, dtype=np.float64)
-        self._map_transform(flat, out, transform, inverse=True)
+        out = np.empty(flat.shape, dtype=np.float64)
+
+        jobs = [
+            (sl, (kernel_obj, transform.name, transform.block_shape, settings, True, flat[sl]))
+            for sl in chunk_slices(n_blocks, self._effective_chunks(flat))
+        ]
+
+        def write(sl: slice, result) -> None:
+            out[sl] = result
+
+        self._map_chunks(jobs, write)
         return out.reshape(grid_shape + settings.block_shape)
 
 
@@ -140,41 +219,27 @@ class ThreadedExecutor(_ChunkingExecutor):
     Parameters
     ----------
     n_workers:
-        Number of worker threads (and chunks).  Results are identical to the serial
-        path; only wall-clock time differs.
+        Number of worker threads (and maximum chunks).  The actual chunk count
+        is derived from the array size (see :data:`MIN_CHUNK_ELEMENTS`), so
+        small arrays run serially in the calling thread instead of paying pool
+        dispatch for sub-millisecond chunks.
+    backend:
+        Optional kernel-backend name fixed for this executor.
     """
 
-    def __init__(self, n_workers: int = 4):
-        super().__init__(n_chunks=n_workers)
+    def __init__(self, n_workers: int = 4, backend: str | None = None):
+        super().__init__(n_chunks=n_workers, backend=backend)
         self.n_workers = int(n_workers)
 
-    def _map_chunks(self, func, flat, out):
-        slices = list(chunk_slices(flat.shape[0], self.n_chunks))
-        if len(slices) <= 1:
-            for sl in slices:
-                out[sl] = func(flat[sl])
+    def _map_chunks(self, jobs, write):
+        if len(jobs) <= 1:
+            for sl, args in jobs:
+                write(sl, _kernel_chunk(*args))
             return
         with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-            futures = {pool.submit(func, flat[sl]): sl for sl in slices}
+            futures = {pool.submit(_kernel_chunk, *args): sl for sl, args in jobs}
             for future, sl in futures.items():
-                out[sl] = future.result()
-
-
-def _transform_chunk(
-    transform_name: str,
-    block_shape: tuple[int, ...],
-    inverse: bool,
-    chunk: np.ndarray,
-) -> np.ndarray:
-    """Picklable work unit for :class:`ProcessExecutor` worker processes.
-
-    Transforms are rebuilt from their (name, block shape) description inside the
-    worker — the per-extent matrices are cached per process by
-    :func:`repro.core.transforms.get_transform`, so the rebuild is a dictionary hit
-    after the first chunk.
-    """
-    transform = get_transform(transform_name, block_shape)
-    return transform.inverse(chunk) if inverse else transform.forward(chunk)
+                write(sl, future.result())
 
 
 class ProcessExecutor(_ChunkingExecutor):
@@ -182,46 +247,35 @@ class ProcessExecutor(_ChunkingExecutor):
 
     Unlike :class:`ThreadedExecutor` this sidesteps the GIL entirely, at the price
     of pickling each chunk across the process boundary — worthwhile for large
-    blocks where the transform dominates the copy.  Results are bit-identical to
-    the serial path: each chunk's computation is independent and the binning step
-    runs once over the assembled coefficients in the parent process.
+    blocks where the transform dominates the copy.  Under the ``reference``
+    backend results are bit-identical to the serial path.
 
     Parameters
     ----------
     n_workers:
-        Number of worker processes (and chunks).
+        Number of worker processes (and maximum chunks).
+    backend:
+        Optional kernel-backend name fixed for this executor.
     """
 
-    def __init__(self, n_workers: int = 4):
-        super().__init__(n_chunks=n_workers)
+    def __init__(self, n_workers: int = 4, backend: str | None = None):
+        super().__init__(n_chunks=n_workers, backend=backend)
         self.n_workers = int(n_workers)
 
-    def _map_transform(self, flat, out, transform, inverse):
-        slices = list(chunk_slices(flat.shape[0], self.n_chunks))
-        if len(slices) <= 1:
-            for sl in slices:
-                out[sl] = _transform_chunk(
-                    transform.name, transform.block_shape, inverse, flat[sl]
-                )
+    def _map_chunks(self, jobs, write):
+        if len(jobs) <= 1:
+            for sl, args in jobs:
+                write(sl, _kernel_chunk(*args))
             return
         with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
             futures = {
                 pool.submit(
-                    _transform_chunk,
-                    transform.name,
-                    transform.block_shape,
-                    inverse,
-                    np.ascontiguousarray(flat[sl]),
+                    _kernel_chunk, *args[:-1], np.ascontiguousarray(args[-1])
                 ): sl
-                for sl in slices
+                for sl, args in jobs
             }
             for future, sl in futures.items():
-                out[sl] = future.result()
-
-    def _map_chunks(self, func, flat, out):  # pragma: no cover - defensive
-        raise NotImplementedError(
-            "ProcessExecutor dispatches picklable work units via _map_transform"
-        )
+                write(sl, future.result())
 
 
 class LoopExecutor(_ChunkingExecutor):
@@ -231,9 +285,13 @@ class LoopExecutor(_ChunkingExecutor):
     buys, mirroring the paper's PyBlaz-vs-Blaz comparison on equal algorithmic terms.
     """
 
-    def __init__(self):
-        super().__init__(n_chunks=1)
+    def __init__(self, backend: str | None = None):
+        super().__init__(n_chunks=1, backend=backend)
 
-    def _map_chunks(self, func, flat, out):
-        for index in range(flat.shape[0]):
-            out[index] = func(flat[index])
+    def _effective_chunks(self, flat: np.ndarray) -> int:
+        # one chunk per block: the whole point is to measure the per-block loop
+        return flat.shape[0]
+
+    def _map_chunks(self, jobs, write):
+        for sl, args in jobs:
+            write(sl, _kernel_chunk(*args))

@@ -8,7 +8,9 @@ result: per-slab ``maxima`` concatenate along grid axis 0 and per-slab flattened
 ``indices`` concatenate along their block axis.  :class:`ChunkedCompressor` is the
 bookkeeping around that fact — slab re-alignment, validation, optional process
 fan-out, and assembly — with all numerics delegated to the one-shot
-:class:`repro.core.Compressor`.
+:class:`repro.core.Compressor` running the bit-exact ``reference`` kernel
+backend (the default; see the ``backend`` parameter for the faster, not
+bit-identical alternatives).
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from ..core.compressed import CompressedArray
 from ..core.compressor import Compressor
 from ..core.exceptions import CodecError
 from ..core.settings import CompressionSettings
+from ..kernels import DEFAULT_BACKEND
 from .store import CompressedStore, CompressedStoreWriter
 
 __all__ = ["ChunkedCompressor", "stream_compress"]
@@ -62,9 +65,11 @@ def stream_compress(
     return CompressedStore(path)
 
 
-def _compress_slab(settings: CompressionSettings, slab: np.ndarray) -> CompressedArray:
+def _compress_slab(
+    settings: CompressionSettings, backend: str, slab: np.ndarray
+) -> CompressedArray:
     """Picklable per-slab work unit for the process fan-out."""
-    return Compressor(settings).compress(slab)
+    return Compressor(settings, backend=backend).compress(slab)
 
 
 class ChunkedCompressor:
@@ -82,6 +87,17 @@ class ChunkedCompressor:
         When > 1, slabs are compressed concurrently in worker processes with a
         bounded number in flight, so memory stays proportional to
         ``n_workers × slab size`` even for generator input.
+    backend:
+        Kernel backend compressing each slab (see :mod:`repro.kernels`).
+        Defaults to ``"reference"`` — deliberately ignoring ``settings.backend``
+        — because only the bit-exact backend guarantees the chunked result is
+        bit-identical to one-shot compression for every slab size (BLAS kernel
+        choice depends on batch size, so the fast backends do not).  Pass
+        ``backend="gemm"`` explicitly to trade that invariant for throughput;
+        results then agree with one-shot only within the backend's documented
+        tolerance.  With ``n_workers > 1`` the backend is resolved by name
+        inside each worker process, so third-party backends must be registered
+        at import time of their module, not just in the parent interpreter.
 
     The input to :meth:`compress` / :meth:`compress_to_store` may be an in-memory
     array, a ``np.memmap`` (slabs are materialised one at a time), or any iterable
@@ -94,8 +110,10 @@ class ChunkedCompressor:
         settings: CompressionSettings,
         slab_rows: int | None = None,
         n_workers: int = 1,
+        backend: str | None = None,
     ):
         self.settings = settings
+        self.backend = str(backend).lower() if backend is not None else DEFAULT_BACKEND
         block_rows = settings.block_shape[0]
         if slab_rows is None:
             slab_rows = 64 * block_rows
@@ -108,7 +126,7 @@ class ChunkedCompressor:
         self.n_workers = int(n_workers)
         if self.n_workers < 1:
             raise ValueError("n_workers must be positive")
-        self._compressor = Compressor(settings)
+        self._compressor = Compressor(settings, backend=self.backend)
 
     # ------------------------------------------------------------------ slab plumbing
     def _validate_slab(self, slab: np.ndarray, tail_shape: tuple[int, ...] | None):
@@ -168,7 +186,9 @@ class ChunkedCompressor:
             in_flight: deque = deque()
             for slab in slabs:
                 in_flight.append(
-                    pool.submit(_compress_slab, self.settings, np.ascontiguousarray(slab))
+                    pool.submit(
+                        _compress_slab, self.settings, self.backend, np.ascontiguousarray(slab)
+                    )
                 )
                 # bound memory: keep at most 2 slabs per worker pending
                 while len(in_flight) >= 2 * self.n_workers:
@@ -221,5 +241,5 @@ class ChunkedCompressor:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ChunkedCompressor(slab_rows={self.slab_rows}, n_workers={self.n_workers}, "
-            f"{self.settings.describe()})"
+            f"backend={self.backend}, {self.settings.describe()})"
         )

@@ -312,6 +312,20 @@ class CompressedStore:
             self._codec = get_codec(self.codec_name)
         return self._codec
 
+    def use_codec(self, codec: Codec) -> None:
+        """Replace the codec instance used to decompress chunks.
+
+        The replacement must decode the same stream format (same codec name);
+        this exists to reconfigure *execution* choices, e.g. a pyblaz codec
+        with a non-default kernel backend for faster bulk decompression.
+        """
+        if codec.name != self.codec_name:
+            raise CodecError(
+                f"store holds {self.codec_name!r} chunks; cannot decode them with "
+                f"codec {codec.name!r}"
+            )
+        self._codec = codec
+
     # ------------------------------------------------------------------ chunk access
     def _decode_chunk(self, index: int):
         offset, n_bytes, n_rows, _ = self._chunks[index]
@@ -367,8 +381,10 @@ class CompressedStore:
     def decompress_chunk(self, chunk) -> np.ndarray:
         """Decompress one chunk object with the store's codec.
 
-        Decompression failures on corrupt chunk contents are reported as
-        :class:`CodecError` like decoding failures.
+        The codec instance can be reconfigured with :meth:`use_codec` (e.g. a
+        pyblaz codec with a non-default kernel backend).  Decompression
+        failures on corrupt chunk contents are reported as :class:`CodecError`
+        like decoding failures.
         """
         try:
             return self.codec.decompress(chunk)

@@ -70,3 +70,59 @@ class TestExperimentCommand:
         assert main(["experiment", "ratio"]) == 0
         out = capsys.readouterr().out
         assert "2.9" in out  # the paper's worked example appears in the metadata
+
+
+class TestBackendOptions:
+    def test_backends_listing(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "reference" in out and "gemm" in out and "numba" in out
+        assert "bit-exact" in out
+
+    def test_compress_decompress_with_gemm_backend(self, tmp_path, capsys):
+        array = smooth_field((20, 28), seed=3)
+        npy_in, stream, npy_out = tmp_path / "in.npy", tmp_path / "o.pblz", tmp_path / "b.npy"
+        np.save(npy_in, array)
+        assert main(["compress", str(npy_in), str(stream), "--block", "4,4",
+                     "--backend", "gemm"]) == 0
+        assert "backend=gemm" in capsys.readouterr().out
+        assert main(["decompress", str(stream), str(npy_out), "--backend", "gemm"]) == 0
+        assert np.abs(np.load(npy_out) - array).max() < 1e-2
+
+    def test_stream_roundtrip_with_gemm_backend(self, tmp_path, capsys):
+        array = smooth_field((24, 12), seed=4)
+        npy_in, store, npy_out = tmp_path / "in.npy", tmp_path / "s.pblzc", tmp_path / "b.npy"
+        np.save(npy_in, array)
+        assert main(["stream-compress", str(npy_in), str(store), "--block", "4,4",
+                     "--backend", "gemm", "--slab-rows", "8"]) == 0
+        capsys.readouterr()
+        assert main(["stream-decompress", str(store), str(npy_out), "--backend", "gemm"]) == 0
+        assert np.abs(np.load(npy_out) - array).max() < 1e-2
+
+    def test_backend_on_non_pyblaz_stream_is_usage_error(self, tmp_path, capsys):
+        array = smooth_field((16, 16), seed=5)
+        npy_in, stream = tmp_path / "in.npy", tmp_path / "o.zfp"
+        np.save(npy_in, array)
+        assert main(["compress", str(npy_in), str(stream), "--codec", "zfp"]) == 0
+        capsys.readouterr()
+        code = main(["decompress", str(stream), str(tmp_path / "b.npy"), "--backend", "gemm"])
+        assert code == 2
+        assert "--backend applies to the pyblaz codec" in capsys.readouterr().err
+        # ... and symmetrically on the compress side
+        code = main(["compress", str(npy_in), str(tmp_path / "o2.zfp"), "--codec", "zfp",
+                     "--backend", "gemm"])
+        assert code == 2
+        assert "--backend applies to the pyblaz codec" in capsys.readouterr().err
+
+    def test_unavailable_backend_exits_with_codec_error(self, tmp_path, capsys):
+        from repro.kernels import backend_is_available
+
+        if backend_is_available("numba"):
+            pytest.skip("numba installed: the unavailable path is not reachable")
+        array = smooth_field((8, 8), seed=6)
+        npy_in = tmp_path / "in.npy"
+        np.save(npy_in, array)
+        code = main(["compress", str(npy_in), str(tmp_path / "o.pblz"), "--block", "4,4",
+                     "--backend", "numba"])
+        assert code == 3
+        assert "numba" in capsys.readouterr().err
