@@ -31,7 +31,8 @@ import numpy as np
 
 from repro import CompressionSettings, Compressor, ops
 from repro.simulators import ShallowWaterConfig, ShallowWaterSimulator
-from repro.streaming import ChunkedCompressor, stream_l2_norm, stream_mean
+from repro.streaming import ChunkedCompressor
+from repro.streaming import ops as stream_ops
 
 
 def write_memmapped_series(path: Path, n_steps: int) -> np.ndarray:
@@ -84,9 +85,11 @@ def main() -> int:
             print("streamed result is bit-identical to one-shot compression")
 
             # --- streaming reductions: fold over chunks --------------------------
-            print(f"stream_mean    = {stream_mean(store):+.6e}   "
+            # (see examples/compressed_ops_out_of_core.py for the full
+            # streaming.ops operation set over two stores)
+            print(f"streaming.ops.mean    = {stream_ops.mean(store):+.6e}   "
                   f"(one-shot ops.mean    = {ops.mean(reference):+.6e})")
-            print(f"stream_l2_norm = {stream_l2_norm(store):.6e}   "
+            print(f"streaming.ops.l2_norm = {stream_ops.l2_norm(store):.6e}   "
                   f"(one-shot ops.l2_norm = {ops.l2_norm(reference):.6e})")
 
             # --- selective decompression -----------------------------------------

@@ -16,7 +16,9 @@ The package is organised as:
 * :mod:`repro.analysis` — uncompressed reference operations and error metrics.
 * :mod:`repro.parallel` — block-chunked (thread/process-parallel) execution backends.
 * :mod:`repro.streaming` — out-of-core slab streaming: :class:`ChunkedCompressor`,
-  the chunk-table :class:`CompressedStore` format, and streaming reductions.
+  the chunk-table :class:`CompressedStore` format, and :mod:`repro.streaming.ops`,
+  the compressed-domain operation engine that folds every Table I reduction (and
+  the structural add/subtract/scale/negate) chunk-by-chunk over stores.
 * :mod:`repro.experiments` — one module per paper table/figure.
 
 Quickstart::
@@ -58,7 +60,7 @@ from .kernels import (
 )
 from .streaming import ChunkedCompressor, CompressedStore
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CompressionSettings",

@@ -10,6 +10,10 @@ Subcommands
                       is never fully loaded) into a chunked store.
 ``stream-decompress`` Reconstruct a ``.npy`` array — or just a region of it —
                       from a chunked store, one chunk at a time.
+``stream-ops``        Run a compressed-domain operation over chunked store(s)
+                      out-of-core: scalar reductions print their value, the
+                      array-valued operations write a new store chunk-by-chunk
+                      (see ``docs/ops.md`` for the operation contracts).
 ``codecs``            List every registered codec with its capabilities and its
                       compression ratio on a standard 256×256 float64 probe.
 ``backends``          List every registered kernel backend (the execution
@@ -35,6 +39,10 @@ Examples
     repro decompress output.zfp roundtrip.npy
     repro stream-compress input.npy output.pblzc --codec sz --error-bound 1e-6
     repro stream-decompress output.pblzc roundtrip.npy --region 0:32,:,:
+    repro stream-ops dot a.pblzc b.pblzc
+    repro stream-ops mean a.pblzc --workers 4
+    repro stream-ops add a.pblzc b.pblzc --out sum.pblzc
+    repro stream-ops scale a.pblzc --scalar 2.5 --out scaled.pblzc
     repro codecs
     repro backends
     repro info output.pblz
@@ -177,6 +185,28 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(only intersecting chunks are read)")
     p_unstream.add_argument("--backend", default=None, choices=list(available_backends()),
                             help="kernel backend for chunk decompression (pyblaz stores only)")
+
+    p_ops = sub.add_parser(
+        "stream-ops",
+        help="run a compressed-domain operation over chunked store(s) out-of-core",
+    )
+    p_ops.add_argument("operation", choices=sorted(_UNARY_OPS | _BINARY_OPS),
+                       help="compressed-domain operation (see docs/ops.md)")
+    p_ops.add_argument("store_a", help="chunked store (pyblaz family)")
+    p_ops.add_argument("store_b", nargs="?", default=None,
+                       help="second store for the binary operations "
+                            "(must be chunked identically to the first)")
+    p_ops.add_argument("--out", default=None,
+                       help="output store path (required by the array-valued "
+                            "operations add/subtract/scale/negate)")
+    p_ops.add_argument("--scalar", type=float, default=None,
+                       help="scale factor (required by `scale`)")
+    p_ops.add_argument("--workers", type=int, default=1,
+                       help="worker processes computing per-chunk fold partials "
+                            "(scalar reductions only)")
+    p_ops.add_argument("--true-mean", action="store_true",
+                       help="rescale `mean` to the original element count instead "
+                            "of the zero-padded block domain")
 
     p_codecs = sub.add_parser("codecs", help="list registered codecs and their capabilities")
     p_codecs.add_argument("--no-probe", action="store_true",
@@ -342,6 +372,93 @@ def _cmd_stream_decompress(args: argparse.Namespace) -> int:
     return 0
 
 
+#: stream-ops operations by arity and result kind.
+_UNARY_OPS = {"mean", "variance", "standard-deviation", "l2-norm", "negate", "scale"}
+_BINARY_OPS = {"dot", "covariance", "cosine-similarity", "euclidean-distance",
+               "add", "subtract"}
+_ARRAY_OPS = {"negate", "scale", "add", "subtract"}
+
+
+def _cmd_stream_ops(args: argparse.Namespace) -> int:
+    """Evaluate one out-of-core compressed-domain operation over store(s).
+
+    Scalar reductions print ``<operation> = <value>`` (full repr precision);
+    array-valued operations write ``--out`` chunk-by-chunk and report its chunk
+    count.  Usage errors (wrong arity, missing ``--out``/``--scalar``,
+    incompatible chunking) exit 2; codec errors (non-pyblaz store, corrupt
+    chunks) exit 3 via the shared :class:`CodecError` mapping.
+    """
+    from .parallel import ProcessExecutor
+    from .streaming import ops as stream_ops
+
+    operation = args.operation
+    binary = operation in _BINARY_OPS
+    if binary and args.store_b is None:
+        print(f"error: {operation} needs two stores", file=sys.stderr)
+        return 2
+    if not binary and args.store_b is not None:
+        print(f"error: {operation} takes a single store", file=sys.stderr)
+        return 2
+    if operation in _ARRAY_OPS and args.out is None:
+        print(f"error: {operation} writes a store; pass --out", file=sys.stderr)
+        return 2
+    if operation == "scale" and args.scalar is None:
+        print("error: scale needs --scalar", file=sys.stderr)
+        return 2
+    executor = ProcessExecutor(n_workers=args.workers) if args.workers > 1 else None
+
+    scalar_unary = {
+        "mean": lambda store: stream_ops.mean(
+            store, padded=not args.true_mean, executor=executor
+        ),
+        "variance": lambda store: stream_ops.variance(store, executor=executor),
+        "standard-deviation": lambda store: stream_ops.standard_deviation(
+            store, executor=executor
+        ),
+        "l2-norm": lambda store: stream_ops.l2_norm(store, executor=executor),
+    }
+    scalar_binary = {
+        "dot": stream_ops.dot,
+        "covariance": stream_ops.covariance,
+        "cosine-similarity": stream_ops.cosine_similarity,
+        "euclidean-distance": stream_ops.euclidean_distance,
+    }
+
+    try:
+        with CompressedStore(args.store_a) as store_a:
+            if not binary:
+                if operation in scalar_unary:
+                    print(f"{operation} = {scalar_unary[operation](store_a)!r}")
+                    return 0
+                if operation == "negate":
+                    out = stream_ops.negate(store_a, args.out)
+                else:
+                    out = stream_ops.scale(store_a, args.scalar, args.out)
+                with out:
+                    print(f"{operation}: wrote {args.out} "
+                          f"(shape {out.shape}, chunks {out.n_chunks})")
+                return 0
+            with CompressedStore(args.store_b) as store_b:
+                if operation in scalar_binary:
+                    value = scalar_binary[operation](
+                        store_a, store_b, executor=executor
+                    )
+                    print(f"{operation} = {value!r}")
+                    return 0
+                mapped = stream_ops.add if operation == "add" else stream_ops.subtract
+                with mapped(store_a, store_b, args.out) as out:
+                    print(f"{operation}: wrote {args.out} "
+                          f"(shape {out.shape}, chunks {out.n_chunks})")
+                return 0
+    except CodecError:
+        raise  # non-pyblaz or corrupt store: exit 3 via the shared mapping
+    except (ValueError, ZeroDivisionError) as exc:
+        # mismatched chunking/shapes, pruned DC coefficients, zero norms:
+        # usage-level errors, distinct from the CodecError exit-3 contract
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _probe_field() -> np.ndarray:
     """The standard 256×256 float64 probe the ``codecs`` listing measures on
     (the same generator the cross-codec ablation sweeps)."""
@@ -446,6 +563,7 @@ def main(argv: list[str] | None = None) -> int:
         "decompress": _cmd_decompress,
         "stream-compress": _cmd_stream_compress,
         "stream-decompress": _cmd_stream_decompress,
+        "stream-ops": _cmd_stream_ops,
         "codecs": _cmd_codecs,
         "backends": _cmd_backends,
         "info": _cmd_info,

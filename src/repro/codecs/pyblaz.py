@@ -53,8 +53,8 @@ class PyBlazCodec(Codec):
         dtypes=("float32", "float64"),
         compressed_ops=(
             "add", "subtract", "negate", "multiply_scalar", "dot", "mean",
-            "variance", "covariance", "l2_norm", "cosine_similarity",
-            "structural_similarity", "wasserstein_distance",
+            "variance", "covariance", "l2_norm", "euclidean_distance",
+            "cosine_similarity", "structural_similarity", "wasserstein_distance",
         ),
         lossless=False,
     )

@@ -18,6 +18,7 @@ Operation                      Result     Source of additional error
 :func:`covariance`             scalar     none
 :func:`variance`               scalar     none
 :func:`l2_norm`                scalar     none
+:func:`euclidean_distance`     scalar     none
 :func:`cosine_similarity`      scalar     none
 :func:`structural_similarity`  scalar     none
 :func:`wasserstein_distance`   scalar     function of block size
@@ -27,8 +28,16 @@ Operation                      Result     Source of additional error
 floating-point rounding).  Scalar reductions are taken over the zero-padded block
 domain; when the array shape is a multiple of the block shape they coincide with the
 uncompressed-space definitions (see DESIGN.md §5).
+
+Every scalar reduction also exposes a **partial-fold form** in
+:mod:`repro.core.ops.folds` (per-chunk partial → associative combine →
+finalize); the functions here are thin wrappers running the fold over a single
+chunk, and :mod:`repro.streaming.ops` runs the same folds out-of-core over
+chunked stores.  ``docs/ops.md`` tabulates every operation's error-bound
+contract and its in-memory vs store-level availability.
 """
 
+from . import folds
 from .approximate import (
     approximate_binary_map,
     approximate_histogram,
@@ -38,7 +47,7 @@ from .approximate import (
 )
 from .coefficients import rebin_coefficients, specified_coefficients
 from .linear import add, add_scalar, multiply_scalar, negate, subtract
-from .reductions import blockwise_mean, dot, l2_norm, mean
+from .reductions import blockwise_mean, dot, euclidean_distance, l2_norm, mean
 from .similarity import cosine_similarity, structural_similarity
 from .statistics import (
     blockwise_covariance,
@@ -51,6 +60,7 @@ from .statistics import (
 from .wasserstein import wasserstein_distance
 
 __all__ = [
+    "folds",
     "specified_coefficients",
     "rebin_coefficients",
     "negate",
@@ -62,6 +72,7 @@ __all__ = [
     "mean",
     "blockwise_mean",
     "l2_norm",
+    "euclidean_distance",
     "covariance",
     "variance",
     "standard_deviation",

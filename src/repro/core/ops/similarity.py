@@ -18,8 +18,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..compressed import CompressedArray
+from . import folds
 from .coefficients import require_compatible
-from .reductions import dot, l2_norm, mean
+from .reductions import mean
 from .statistics import covariance, variance
 
 __all__ = ["cosine_similarity", "structural_similarity"]
@@ -28,14 +29,14 @@ __all__ = ["cosine_similarity", "structural_similarity"]
 def cosine_similarity(a: CompressedArray, b: CompressedArray) -> float:
     """Algorithm 11: ``dot(a, b) / (‖a‖₂ · ‖b‖₂)``.
 
-    Exact in the compressed space (both numerator and denominator are).  Raises if
-    either operand has zero norm, for which cosine similarity is undefined.
+    A thin wrapper over the single-pass similarity fold
+    (:func:`repro.core.ops.folds.similarity_partial`), which computes the dot
+    product and both squared norms in one coefficient traversal.  Error
+    contract: exact in the compressed space (both numerator and denominator
+    are).  Raises ``ZeroDivisionError`` if either operand has zero norm, for
+    which cosine similarity is undefined.
     """
-    require_compatible(a, b, "cosine similarity")
-    denominator = l2_norm(a) * l2_norm(b)
-    if denominator == 0.0:
-        raise ZeroDivisionError("cosine similarity is undefined for zero-norm arrays")
-    return dot(a, b) / denominator
+    return folds.finalize_cosine_similarity(folds.similarity_partial(a, b))
 
 
 def structural_similarity(

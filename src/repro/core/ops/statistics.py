@@ -7,6 +7,16 @@ equals the average of the DC coefficients.  After centering, orthonormality turn
 element-wise product sum into the data-space product sum, and dividing by the padded
 element count gives the (population) covariance.
 
+The scalar statistics are thin wrappers over their two-pass partial-fold forms
+in :mod:`repro.core.ops.folds`: pass 1 folds the global DC mean
+(:func:`folds.dc_partial`), pass 2 folds the centered products
+(:func:`folds.centered_product_partial` / :func:`folds.centered_square_partial`).
+The out-of-core engine :mod:`repro.streaming.ops` runs the identical two passes
+over store chunks, and the folds are chunking-invariant to the last bit, so the
+two layers always agree on identical compressed data.  Error contract: exact in
+the compressed space (no error beyond compression; correctly rounded
+accumulation).
+
 Block-wise variants center each block independently (zeroing its DC coefficient) and
 average within blocks, giving per-block covariance/variance maps.
 
@@ -20,6 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..compressed import CompressedArray
+from . import folds
 from .coefficients import require_compatible, specified_coefficients
 
 __all__ = [
@@ -32,38 +43,33 @@ __all__ = [
 ]
 
 
-def _centered_coefficients(compressed: CompressedArray) -> np.ndarray:
-    """Specified coefficients with the global mean removed (DC coefficients centered)."""
-    if not compressed.settings.first_coefficient_kept:
-        raise ValueError(
-            "covariance/variance require the first coefficient of each block to be unpruned"
-        )
-    coefficients = specified_coefficients(compressed)
-    ndim = compressed.settings.ndim
-    dc_index = (Ellipsis,) + (0,) * ndim
-    dc = coefficients[dc_index]
-    coefficients[dc_index] = dc - dc.mean()
-    return coefficients
-
-
 def covariance(a: CompressedArray, b: CompressedArray) -> float:
     """Algorithm 8: covariance of two compressed arrays.
 
     ``mean(Ĉ1_centered ⊙ Ĉ2_centered)`` over all coefficient slots, which equals the
-    population covariance of the decompressed (padded) arrays.
+    population covariance of the decompressed (padded) arrays.  Error contract:
+    exact in the compressed space; requires the DC coefficient to be unpruned.
     """
     require_compatible(a, b, "covariance")
-    return float(np.mean(_centered_coefficients(a) * _centered_coefficients(b)))
+    mean_a = folds.dc_grand_mean(folds.dc_partial(a))
+    mean_b = folds.dc_grand_mean(folds.dc_partial(b))
+    return folds.finalize_covariance(
+        folds.centered_product_partial(a, b, mean_a, mean_b)
+    )
 
 
 def variance(compressed: CompressedArray) -> float:
-    """Algorithm 9: variance as the covariance of the array with itself."""
-    centered = _centered_coefficients(compressed)
-    return float(np.mean(centered * centered))
+    """Algorithm 9: variance as the covariance of the array with itself.
+
+    Error contract: exact in the compressed space (and always ≥ 0 — the fold
+    sums squares); requires the DC coefficient to be unpruned.
+    """
+    mean_dc = folds.dc_grand_mean(folds.dc_partial(compressed))
+    return folds.finalize_variance(folds.centered_square_partial(compressed, mean_dc))
 
 
 def standard_deviation(compressed: CompressedArray) -> float:
-    """Standard deviation: the square root of :func:`variance`."""
+    """Standard deviation: the square root of :func:`variance` (same contract)."""
     return float(np.sqrt(variance(compressed)))
 
 
@@ -81,6 +87,7 @@ def blockwise_covariance(a: CompressedArray, b: CompressedArray) -> np.ndarray:
 
     Each block is centered on its own mean, then the coefficient products are averaged
     within the block — the block-wise analogue of Algorithm 8 mentioned in §IV-A.
+    Error contract: exact in the compressed space.
     """
     require_compatible(a, b, "block-wise covariance")
     ndim = a.settings.ndim
@@ -90,7 +97,10 @@ def blockwise_covariance(a: CompressedArray, b: CompressedArray) -> np.ndarray:
 
 
 def blockwise_variance(compressed: CompressedArray) -> np.ndarray:
-    """Per-block variance map (block-wise covariance of the array with itself)."""
+    """Per-block variance map (block-wise covariance of the array with itself).
+
+    Error contract: exact in the compressed space.
+    """
     ndim = compressed.settings.ndim
     centered = _blockwise_centered(compressed)
     block_axes = tuple(range(centered.ndim - ndim, centered.ndim))
@@ -98,5 +108,5 @@ def blockwise_variance(compressed: CompressedArray) -> np.ndarray:
 
 
 def blockwise_standard_deviation(compressed: CompressedArray) -> np.ndarray:
-    """Per-block standard deviation map."""
+    """Per-block standard deviation map (square root of :func:`blockwise_variance`)."""
     return np.sqrt(blockwise_variance(compressed))

@@ -15,11 +15,20 @@ type (int8/int16/int32).  The qualitative observations to reproduce:
 
 The default sweep uses a subset of sizes and setting combinations so the harness
 finishes quickly; the full grid is a configuration away.
+
+Beyond the paper, the sweep also times the **out-of-core** rows: the same
+reductions (plus a structural add) evaluated by :mod:`repro.streaming.ops`
+over chunked on-disk stores, so the table quantifies what chunk-at-a-time
+evaluation costs relative to the in-memory compressed-space operations.  These
+rows carry a ``store_`` prefix in the operation column and can be disabled with
+``Fig7Config(out_of_core=False)``.
 """
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -27,7 +36,7 @@ from ..core import CompressionSettings, Compressor
 from ..core import ops
 from .common import ExperimentResult, median_time
 
-__all__ = ["Fig7Config", "run", "format_result", "OPERATIONS"]
+__all__ = ["Fig7Config", "run", "format_result", "OPERATIONS", "STORE_OPERATIONS"]
 
 #: The operations Fig 7 times, in the paper's panel order.
 OPERATIONS: tuple[str, ...] = (
@@ -44,6 +53,16 @@ OPERATIONS: tuple[str, ...] = (
     "ssim",
 )
 
+#: The out-of-core ablation rows: store-level counterparts via streaming.ops.
+STORE_OPERATIONS: tuple[str, ...] = (
+    "store_dot",
+    "store_l2_norm",
+    "store_cosine_similarity",
+    "store_mean",
+    "store_variance",
+    "store_add",
+)
+
 
 @dataclass(frozen=True)
 class Fig7Config:
@@ -55,47 +74,96 @@ class Fig7Config:
     block_size: int = 4
     repeats: int = 3
     seed: int = 3
+    #: Also time the store-level operations (the out-of-core ablation rows).
+    out_of_core: bool = True
+    #: Store slab height in rows; the default keeps several chunks per store.
+    slab_rows: int = 16
+
+
+def _store_timings(store_a, store_b, out_path) -> dict:
+    """The timed store-level operation closures over two open chunked stores."""
+    from ..streaming import ops as stream_ops
+
+    def timed_add():
+        """One store-level add, closing (and then overwriting) the output store."""
+        stream_ops.add(store_a, store_b, out_path).close()
+
+    return {
+        "store_dot": lambda: stream_ops.dot(store_a, store_b),
+        "store_l2_norm": lambda: stream_ops.l2_norm(store_a),
+        "store_cosine_similarity": lambda: stream_ops.cosine_similarity(store_a, store_b),
+        "store_mean": lambda: stream_ops.mean(store_a),
+        "store_variance": lambda: stream_ops.variance(store_a),
+        "store_add": timed_add,
+    }
 
 
 def run(config: Fig7Config = Fig7Config()) -> ExperimentResult:
     """Time every Fig 7 operation across sizes and setting combinations."""
     rng = np.random.default_rng(config.seed)
     rows: list[tuple] = []
-    for float_format in config.float_formats:
-        for index_dtype in config.index_dtypes:
-            settings = CompressionSettings(
-                block_shape=(config.block_size,) * 3,
-                float_format=float_format,
-                index_dtype=index_dtype,
-            )
-            compressor = Compressor(settings)
-            for size in config.sizes:
-                a = rng.random((size, size, size))
-                b = rng.random((size, size, size))
-                ca, cb = compressor.compress(a), compressor.compress(b)
+    with tempfile.TemporaryDirectory(prefix="fig7_stores_") as tmp:
+        workdir = Path(tmp)
+        for float_format in config.float_formats:
+            for index_dtype in config.index_dtypes:
+                settings = CompressionSettings(
+                    block_shape=(config.block_size,) * 3,
+                    float_format=float_format,
+                    index_dtype=index_dtype,
+                )
+                compressor = Compressor(settings)
+                for size in config.sizes:
+                    a = rng.random((size, size, size))
+                    b = rng.random((size, size, size))
+                    ca, cb = compressor.compress(a), compressor.compress(b)
 
-                timed = {
-                    "compress": lambda: compressor.compress(a),
-                    "decompress": lambda: compressor.decompress(ca),
-                    "negate": lambda: ops.negate(ca),
-                    "add": lambda: ops.add(ca, cb),
-                    "multiply": lambda: ops.multiply_scalar(ca, 1.5),
-                    "dot": lambda: ops.dot(ca, cb),
-                    "l2_norm": lambda: ops.l2_norm(ca),
-                    "cosine_similarity": lambda: ops.cosine_similarity(ca, cb),
-                    "mean": lambda: ops.mean(ca),
-                    "variance": lambda: ops.variance(ca),
-                    "ssim": lambda: ops.structural_similarity(ca, cb),
-                }
-                for operation in OPERATIONS:
-                    seconds = median_time(timed[operation], config.repeats)
-                    rows.append((size, float_format, index_dtype, operation, seconds))
+                    timed = {
+                        "compress": lambda: compressor.compress(a),
+                        "decompress": lambda: compressor.decompress(ca),
+                        "negate": lambda: ops.negate(ca),
+                        "add": lambda: ops.add(ca, cb),
+                        "multiply": lambda: ops.multiply_scalar(ca, 1.5),
+                        "dot": lambda: ops.dot(ca, cb),
+                        "l2_norm": lambda: ops.l2_norm(ca),
+                        "cosine_similarity": lambda: ops.cosine_similarity(ca, cb),
+                        "mean": lambda: ops.mean(ca),
+                        "variance": lambda: ops.variance(ca),
+                        "ssim": lambda: ops.structural_similarity(ca, cb),
+                    }
+                    stores = []
+                    if config.out_of_core:
+                        from ..streaming import ChunkedCompressor
+
+                        chunked = ChunkedCompressor(
+                            settings, slab_rows=config.slab_rows
+                        )
+                        stores = [
+                            chunked.compress_to_store(a, workdir / "a.pblzc"),
+                            chunked.compress_to_store(b, workdir / "b.pblzc"),
+                        ]
+                        timed.update(
+                            _store_timings(*stores, workdir / "out.pblzc")
+                        )
+                    try:
+                        for operation, function in timed.items():
+                            seconds = median_time(function, config.repeats)
+                            rows.append(
+                                (size, float_format, index_dtype, operation, seconds)
+                            )
+                    finally:
+                        for store in stores:
+                            store.close()
 
     return ExperimentResult(
         name="Fig 7 — PyBlaz operation time (3-D arrays, block size 4)",
         columns=("array size", "float", "index", "operation", "seconds"),
         rows=rows,
-        metadata={"block_size": config.block_size, "sizes": config.sizes},
+        metadata={
+            "block_size": config.block_size,
+            "sizes": config.sizes,
+            "out_of_core": config.out_of_core,
+            "slab_rows": config.slab_rows,
+        },
     )
 
 

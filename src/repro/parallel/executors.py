@@ -88,6 +88,18 @@ class BlockExecutor(abc.ABC):
             return kernel
         return get_backend(DEFAULT_BACKEND)
 
+    def map_jobs(self, fn, jobs):
+        """Run ``fn(*args)`` for every args tuple in ``jobs``; results in job order.
+
+        The generic fan-out hook behind :mod:`repro.streaming.ops`: the
+        out-of-core engine hands one job per store chunk (compute that chunk's
+        fold partial) to whatever executor the caller configured, so per-chunk
+        work schedules exactly like the per-block transform work — serial here,
+        pooled in the thread/process executors (which additionally require the
+        jobs to be picklable in the process case).
+        """
+        return [fn(*args) for args in jobs]
+
     @abc.abstractmethod
     def transform_and_bin(
         self,
@@ -241,6 +253,14 @@ class ThreadedExecutor(_ChunkingExecutor):
             for future, sl in futures.items():
                 write(sl, future.result())
 
+    def map_jobs(self, fn, jobs):
+        """Fan ``fn(*args)`` jobs out over the thread pool; results in job order."""
+        if len(jobs) <= 1:
+            return [fn(*args) for args in jobs]
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            futures = [pool.submit(fn, *args) for args in jobs]
+            return [future.result() for future in futures]
+
 
 class ProcessExecutor(_ChunkingExecutor):
     """Process-pool execution over chunks of the block grid.
@@ -276,6 +296,18 @@ class ProcessExecutor(_ChunkingExecutor):
             }
             for future, sl in futures.items():
                 write(sl, future.result())
+
+    def map_jobs(self, fn, jobs):
+        """Fan ``fn(*args)`` jobs out over worker processes; results in job order.
+
+        ``fn`` and every job argument must be picklable; results come back in
+        job order regardless of completion order.
+        """
+        if len(jobs) <= 1:
+            return [fn(*args) for args in jobs]
+        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+            futures = [pool.submit(fn, *args) for args in jobs]
+            return [future.result() for future in futures]
 
 
 class LoopExecutor(_ChunkingExecutor):

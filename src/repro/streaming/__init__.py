@@ -20,12 +20,19 @@ Three layers:
   Format v2 records the codec *name*, so a store can hold slabs of any
   registered :mod:`repro.codecs` backend (:func:`stream_compress` is the
   codec-generic writer); v1 pyblaz stores remain readable.
-* :func:`stream_mean` / :func:`stream_l2_norm` / :func:`stream_dot` — compressed-
-  space reductions that fold chunk-by-chunk over a store, reusing
-  :mod:`repro.core.ops` so no full decompression (or even full compressed array)
-  is ever held in memory.
+* :mod:`repro.streaming.ops` — the out-of-core compressed-domain operation
+  engine: every Table I scalar reduction (``mean``, ``variance``,
+  ``standard_deviation``, ``covariance``, ``dot``, ``l2_norm``,
+  ``euclidean_distance``, ``cosine_similarity``) folded chunk-by-chunk via the
+  partial-fold forms of :mod:`repro.core.ops.folds`, plus structural
+  ``add``/``subtract``/``scale``/``negate`` that write new stores one chunk at
+  a time.  Results match the in-memory :mod:`repro.core.ops` on the assembled
+  array bit for bit (see ``docs/ops.md``).  The historical
+  ``stream_mean``/``stream_l2_norm``/``stream_dot`` names remain as
+  deprecation shims.
 """
 
+from . import ops
 from .chunked import ChunkedCompressor, stream_compress
 from .reductions import stream_dot, stream_l2_norm, stream_mean
 from .store import CompressedStore, CompressedStoreWriter, load_region
@@ -35,6 +42,7 @@ __all__ = [
     "CompressedStore",
     "CompressedStoreWriter",
     "load_region",
+    "ops",
     "stream_compress",
     "stream_mean",
     "stream_l2_norm",

@@ -130,6 +130,7 @@ class ChunkedCompressor:
 
     # ------------------------------------------------------------------ slab plumbing
     def _validate_slab(self, slab: np.ndarray, tail_shape: tuple[int, ...] | None):
+        """Check one input slab's dimensionality and trailing shape."""
         slab = np.asarray(slab)
         if slab.ndim != self.settings.ndim:
             raise ValueError(

@@ -1,107 +1,46 @@
-"""Streaming compressed-space reductions: fold over chunks, reuse ``core.ops``.
+"""Deprecated streaming-reduction aliases (superseded by :mod:`repro.streaming.ops`).
 
-Each reduction visits one chunk's :class:`CompressedArray` at a time and combines
-per-chunk results computed by the (already tested) operations in
-:mod:`repro.core.ops`, so a store of any size reduces in chunk-sized memory:
-
-* the dot product and squared L2 norm are plain sums over blocks, so they
-  distribute over chunks exactly;
-* the mean is a block-count-weighted average of per-chunk (padded-domain) means.
-
-Sources may be a :class:`repro.streaming.CompressedStore` or any iterable of
-chunk :class:`CompressedArray` objects (e.g. ``store.iter_chunks()``).
+The original out-of-core layer shipped exactly three hand-rolled reductions —
+``stream_mean``, ``stream_l2_norm`` and ``stream_dot``.  The generic engine in
+:mod:`repro.streaming.ops` now evaluates the *whole* Table I operation set over
+chunked stores via the partial-fold forms of :mod:`repro.core.ops.folds`, so
+these three survive only as thin deprecation shims with their historical names
+and behaviour (same sources accepted, same ``ValueError``/``CodecError``
+conditions).  New code should call ``streaming.ops.mean`` /
+``streaming.ops.l2_norm`` / ``streaming.ops.dot`` directly.
 """
 
 from __future__ import annotations
 
-import math
-from itertools import zip_longest
-from typing import Iterator
+import warnings
 
-import numpy as np
-
-from ..core import ops
-from ..core.compressed import CompressedArray
-from .store import CompressedStore
+from . import ops as _ops
 
 __all__ = ["stream_mean", "stream_l2_norm", "stream_dot"]
 
 
-def _chunk_iter(source) -> Iterator[CompressedArray]:
-    if isinstance(source, CompressedStore):
-        if source.settings is None:
-            from ..core.exceptions import CodecError
-
-            raise CodecError(
-                f"streaming reductions fold pyblaz chunks via core.ops; this "
-                f"store holds {source.codec_name!r} streams"
-            )
-        return source.iter_chunks()
-    return iter(source)
+def _warn_deprecated(old: str, new: str) -> None:
+    """Emit the shim's deprecation warning pointing at the replacement."""
+    warnings.warn(
+        f"{old} is deprecated; use repro.streaming.{new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def stream_mean(source, *, padded: bool = True) -> float:
-    """The array mean, folded chunk-by-chunk (cf. :func:`repro.core.ops.mean`).
-
-    With ``padded=True`` (the paper's semantics) the mean is over the zero-padded
-    block domain; with ``padded=False`` it is rescaled to the original element
-    count.  Matches the one-shot ``ops.mean`` of the assembled array up to
-    floating-point summation order.
-    """
-    total = 0.0
-    n_blocks = 0
-    n_elements = 0
-    n_padded = 0
-    for chunk in _chunk_iter(source):
-        total += ops.mean(chunk) * chunk.n_blocks
-        n_blocks += chunk.n_blocks
-        n_elements += chunk.n_elements
-        n_padded += chunk.n_padded_elements
-    if n_blocks == 0:
-        raise ValueError("cannot reduce an empty chunk stream")
-    value = total / n_blocks
-    if not padded:
-        value *= n_padded / n_elements
-    return value
+    """Deprecated alias of :func:`repro.streaming.ops.mean` (same contract)."""
+    _warn_deprecated("stream_mean", "ops.mean")
+    return _ops.mean(source, padded=padded)
 
 
 def stream_l2_norm(source) -> float:
-    """The L2 norm, folded chunk-by-chunk (cf. :func:`repro.core.ops.l2_norm`).
-
-    Accumulates each chunk's squared norm via ``ops.dot(chunk, chunk)`` and takes
-    one square root at the end, so no per-chunk rounding is reintroduced.
-    """
-    total = 0.0
-    seen = False
-    for chunk in _chunk_iter(source):
-        total += ops.dot(chunk, chunk)
-        seen = True
-    if not seen:
-        raise ValueError("cannot reduce an empty chunk stream")
-    return math.sqrt(total)
+    """Deprecated alias of :func:`repro.streaming.ops.l2_norm` (same contract)."""
+    _warn_deprecated("stream_l2_norm", "ops.l2_norm")
+    return _ops.l2_norm(source)
 
 
 def stream_dot(a, b) -> float:
-    """The dot product of two identically chunked sources (cf. ``ops.dot``).
-
-    The two sources must agree chunk-by-chunk in shape and settings; a
-    :class:`CompressedStore` pair written with the same ``slab_rows`` satisfies
-    this, and ``ops.dot`` enforces per-chunk compatibility.
-    """
-    total = 0.0
-    seen = False
-    iter_a, iter_b = _chunk_iter(a), _chunk_iter(b)
-    sentinel = object()
-    for chunk_a, chunk_b in zip_longest(iter_a, iter_b, fillvalue=sentinel):
-        if chunk_a is sentinel or chunk_b is sentinel:
-            raise ValueError("stream_dot requires identically chunked sources")
-        if chunk_a.shape != chunk_b.shape:
-            raise ValueError(
-                f"chunk shapes differ ({chunk_a.shape} vs {chunk_b.shape}); "
-                "recompress with matching slab_rows"
-            )
-        total += ops.dot(chunk_a, chunk_b)
-        seen = True
-    if not seen:
-        raise ValueError("cannot reduce an empty chunk stream")
-    return total
+    """Deprecated alias of :func:`repro.streaming.ops.dot` (same contract)."""
+    _warn_deprecated("stream_dot", "ops.dot")
+    return _ops.dot(a, b)

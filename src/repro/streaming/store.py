@@ -68,6 +68,7 @@ _TRAILER_BYTES = 8 + len(_END_MAGIC)
 
 
 def _check_chunk_settings(store_settings: CompressionSettings, chunk: CompressedArray) -> None:
+    """Reject chunks whose settings diverge from the store's shared settings."""
     if not store_settings.is_compatible_with(chunk.settings) or (
         store_settings.float_format.name != chunk.settings.float_format.name
     ):
@@ -93,6 +94,14 @@ class CompressedStoreWriter:
 
     Usable as a context manager; :meth:`finalize` (or leaving the ``with``
     block) writes the chunk table and makes the file readable.
+
+    Writes land in a ``<name>.partial`` sibling and :meth:`finalize` atomically
+    renames it over ``path``, so a crash never leaves a torn file at the final
+    path (the diagnosable partial stays under the ``.partial`` name).  On POSIX
+    systems this also makes writing a store *over a path currently being read*
+    safe — the reader's open handle keeps the old contents until it reopens
+    (on Windows, where replacing an open file is forbidden, close readers
+    before finalizing onto their path).
     """
 
     def __init__(self, path, codec: "Codec | CompressionSettings"):
@@ -107,7 +116,8 @@ class CompressedStoreWriter:
             )
         self.codec = codec
         self.path = Path(path)
-        self._handle = open(self.path, "wb")
+        self._temp_path = self.path.with_name(self.path.name + ".partial")
+        self._handle = open(self._temp_path, "wb")
         self._chunks: list[tuple[int, int, int]] = []  # (offset, n_bytes, n_rows)
         self._tail_shape: tuple[int, ...] | None = None
         self._ragged = False
@@ -154,11 +164,12 @@ class CompressedStoreWriter:
         self._chunks.append((offset, len(payload), n_rows))
 
     def finalize(self) -> None:
-        """Write the chunk table and close the file."""
+        """Write the chunk table, close the file and publish it at ``path``."""
         if self._finalized:
             return
         if not self._chunks:
             self._handle.close()
+            self._temp_path.unlink(missing_ok=True)
             raise CodecError("cannot finalize an empty store (no chunks appended)")
         footer_offset = self._handle.tell()
         footer = struct.pack("<Q", len(self._chunks))
@@ -170,6 +181,7 @@ class CompressedStoreWriter:
         footer += _END_MAGIC
         self._handle.write(footer)
         self._handle.close()
+        self._temp_path.replace(self.path)  # atomic publish at the final path
         self._finalized = True
 
     # ------------------------------------------------------------------ context manager
@@ -179,7 +191,8 @@ class CompressedStoreWriter:
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
             self.finalize()
-        else:  # leave a diagnosable partial file rather than masking the error
+        else:  # leave a diagnosable .partial file rather than masking the error;
+            # nothing is published at the final path
             self._handle.close()
 
 
@@ -215,6 +228,7 @@ class CompressedStore:
             raise
 
     def _read_header_and_table(self) -> None:
+        """Parse the magic, version, codec name and chunk table (no chunk decodes)."""
         head = self._handle.read(len(STORE_MAGIC) + 1)
         if head[: len(STORE_MAGIC)] != STORE_MAGIC:
             raise CodecError("not a PyBlaz chunked store (bad magic)")
@@ -229,6 +243,7 @@ class CompressedStore:
         self._read_table()
 
     def _read_v1_header(self) -> None:
+        """Parse the version-1 settings header (pyblaz-only legacy layout)."""
         # v1 settings header: type codes + block geometry (identical encoding to
         # the one-shot codec, minus the array shape, which lives in the footer)
         self.codec_name = "pyblaz"
@@ -243,6 +258,7 @@ class CompressedStore:
         self._settings_resolved = True
 
     def _read_table(self) -> None:
+        """Seek to the trailer, then read and validate the chunk table footer."""
         self._handle.seek(-_TRAILER_BYTES, 2)
         trailer = self._handle.read(_TRAILER_BYTES)
         if trailer[8:] != _END_MAGIC:
@@ -281,10 +297,12 @@ class CompressedStore:
     # ------------------------------------------------------------------ geometry
     @property
     def ndim(self) -> int:
+        """Dimensionality of the stored array."""
         return len(self.shape)
 
     @property
     def n_chunks(self) -> int:
+        """Number of chunk records in the store."""
         return len(self._chunks)
 
     @property
@@ -294,6 +312,7 @@ class CompressedStore:
 
     @property
     def settings(self) -> CompressionSettings | None:
+        """Shared pyblaz-family settings, or ``None`` for other codecs' stores."""
         if not self._settings_resolved:
             # v2 stores carry settings inside each (self-describing) pyblaz
             # chunk stream; peek at chunk 0 without counting it as read — but
@@ -328,6 +347,7 @@ class CompressedStore:
 
     # ------------------------------------------------------------------ chunk access
     def _decode_chunk(self, index: int):
+        """Seek to chunk ``index`` and decode it (without counting it as read)."""
         offset, n_bytes, n_rows, _ = self._chunks[index]
         try:
             if self.version == 1:
@@ -345,6 +365,7 @@ class CompressedStore:
             ) from exc
 
     def _decode_v1_chunk(self, offset: int, n_rows: int) -> CompressedArray:
+        """Decode a raw version-1 maxima/indices record into a chunk array."""
         settings = self._settings
         chunk_shape = (n_rows,) + self.shape[1:]
         n_blocks = settings.n_blocks(chunk_shape)
@@ -482,6 +503,7 @@ class CompressedStore:
 
     # ------------------------------------------------------------------ lifecycle
     def close(self) -> None:
+        """Close the underlying file handle (reads fail afterwards)."""
         self._handle.close()
 
     def __enter__(self) -> "CompressedStore":

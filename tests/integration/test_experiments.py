@@ -69,10 +69,21 @@ class TestTimingHarnesses:
                                           index_dtypes=("int16",), repeats=1)
         result = fig7_op_times.run(config)
         operations = {row[3] for row in result.rows}
-        assert operations == set(fig7_op_times.OPERATIONS)
-        # compression time grows with the array size
+        assert operations == set(fig7_op_times.OPERATIONS) | set(
+            fig7_op_times.STORE_OPERATIONS
+        )
+        # every row carries a usable timing
         compress_times = {row[0]: row[4] for row in result.rows if row[3] == "compress"}
         assert compress_times[16] >= 0
+
+    def test_fig7_out_of_core_rows_optional(self):
+        config = fig7_op_times.Fig7Config(sizes=(8,), float_formats=("float32",),
+                                          index_dtypes=("int16",), repeats=1,
+                                          out_of_core=False)
+        result = fig7_op_times.run(config)
+        operations = {row[3] for row in result.rows}
+        assert operations == set(fig7_op_times.OPERATIONS)
+        assert all(row[4] >= 0 for row in result.rows)
 
 
 class TestScienceHarnesses:

@@ -126,3 +126,100 @@ class TestBackendOptions:
                      "--backend", "numba"])
         assert code == 3
         assert "numba" in capsys.readouterr().err
+
+
+class TestStreamOpsCommand:
+    @pytest.fixture
+    def store_pair(self, tmp_path):
+        """Two identically chunked stores (plus their .npy sources) for stream-ops."""
+        a = smooth_field((40, 24), seed=3)
+        b = smooth_field((40, 24), seed=5)
+        paths = {}
+        for name, array in (("a", a), ("b", b)):
+            npy = tmp_path / f"{name}.npy"
+            np.save(npy, array)
+            store = tmp_path / f"{name}.pblzc"
+            assert main(["stream-compress", str(npy), str(store), "--block", "4,4",
+                         "--slab-rows", "8"]) == 0
+            paths[name] = store
+        return paths["a"], paths["b"], a, b
+
+    def test_scalar_reductions_print_in_memory_values(self, store_pair, capsys):
+        from repro.core import CompressionSettings, Compressor, ops
+
+        store_a, store_b, a, b = store_pair
+        capsys.readouterr()
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
+                                       index_dtype="int16")
+        compressor = Compressor(settings)
+        ca, cb = compressor.compress(a), compressor.compress(b)
+
+        assert main(["stream-ops", "dot", str(store_a), str(store_b)]) == 0
+        assert capsys.readouterr().out.strip() == f"dot = {ops.dot(ca, cb)!r}"
+        assert main(["stream-ops", "mean", str(store_a)]) == 0
+        assert capsys.readouterr().out.strip() == f"mean = {ops.mean(ca)!r}"
+        assert main(["stream-ops", "variance", str(store_a)]) == 0
+        assert capsys.readouterr().out.strip() == f"variance = {ops.variance(ca)!r}"
+        assert main(["stream-ops", "cosine-similarity", str(store_a), str(store_b)]) == 0
+        assert capsys.readouterr().out.strip() == (
+            f"cosine-similarity = {ops.cosine_similarity(ca, cb)!r}"
+        )
+
+    def test_array_ops_write_a_readable_store(self, store_pair, tmp_path, capsys):
+        store_a, store_b, a, b = store_pair
+        out = tmp_path / "sum.pblzc"
+        assert main(["stream-ops", "add", str(store_a), str(store_b),
+                     "--out", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        back = tmp_path / "sum.npy"
+        assert main(["stream-decompress", str(out), str(back)]) == 0
+        assert np.allclose(np.load(back), a + b, atol=5e-3)
+
+        scaled = tmp_path / "scaled.pblzc"
+        assert main(["stream-ops", "scale", str(store_a), "--scalar", "2.0",
+                     "--out", str(scaled)]) == 0
+        back2 = tmp_path / "scaled.npy"
+        assert main(["stream-decompress", str(scaled), str(back2)]) == 0
+        assert np.allclose(np.load(back2), 2.0 * a, atol=5e-3)
+
+    def test_usage_errors_exit_2(self, store_pair, tmp_path, capsys):
+        store_a, store_b, *_ = store_pair
+        assert main(["stream-ops", "dot", str(store_a)]) == 2
+        assert "two stores" in capsys.readouterr().err
+        assert main(["stream-ops", "mean", str(store_a), str(store_b)]) == 2
+        assert "single store" in capsys.readouterr().err
+        assert main(["stream-ops", "add", str(store_a), str(store_b)]) == 2
+        assert "--out" in capsys.readouterr().err
+        assert main(["stream-ops", "scale", str(store_a),
+                     "--out", str(tmp_path / "x.pblzc")]) == 2
+        assert "--scalar" in capsys.readouterr().err
+
+    def test_mismatched_chunking_is_usage_error(self, store_pair, tmp_path, capsys):
+        store_a, _, a, _ = store_pair
+        npy = tmp_path / "wide.npy"
+        np.save(npy, a)
+        other = tmp_path / "wide.pblzc"
+        assert main(["stream-compress", str(npy), str(other), "--block", "4,4",
+                     "--slab-rows", "16"]) == 0
+        capsys.readouterr()
+        assert main(["stream-ops", "dot", str(store_a), str(other)]) == 2
+        assert "chunked differently" in capsys.readouterr().err
+
+    def test_non_pyblaz_store_is_codec_error(self, store_pair, tmp_path, capsys):
+        store_a, *_ = store_pair
+        npy = tmp_path / "h.npy"
+        np.save(npy, smooth_field((16, 16), seed=9))
+        huff = tmp_path / "h.store"
+        assert main(["stream-compress", str(npy), str(huff), "--codec", "huffman",
+                     "--slab-rows", "8"]) == 0
+        capsys.readouterr()
+        assert main(["stream-ops", "mean", str(huff)]) == 3
+        assert "huffman" in capsys.readouterr().err
+
+    def test_workers_fan_out_matches_serial(self, store_pair, capsys):
+        store_a, store_b, *_ = store_pair
+        assert main(["stream-ops", "dot", str(store_a), str(store_b)]) == 0
+        serial = capsys.readouterr().out
+        assert main(["stream-ops", "dot", str(store_a), str(store_b),
+                     "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial

@@ -140,8 +140,12 @@ class TestCompressedStore:
         writer = CompressedStoreWriter(path, settings)
         writer.append(Compressor(settings).compress(smooth_field((8, 8), seed=0)))
         writer._handle.close()  # simulate a crash before finalize
+        # nothing was published at the final path; the torn bytes stay .partial
+        assert not path.exists()
+        partial = path.with_name(path.name + ".partial")
+        assert partial.exists()
         with pytest.raises(ValueError, match="trailer"):
-            CompressedStore(path)
+            CompressedStore(partial)
 
     def test_load_matches_one_shot_decompression(self, store, settings, field):
         reference = Compressor(settings).decompress(Compressor(settings).compress(field))
