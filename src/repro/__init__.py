@@ -17,8 +17,12 @@ The package is organised as:
 * :mod:`repro.parallel` — block-chunked (thread/process-parallel) execution backends.
 * :mod:`repro.streaming` — out-of-core slab streaming: :class:`ChunkedCompressor`,
   the chunk-table :class:`CompressedStore` format, and :mod:`repro.streaming.ops`,
-  the compressed-domain operation engine that folds every Table I reduction (and
+  the compressed-domain operations that fold every Table I reduction (and
   the structural add/subtract/scale/negate) chunk-by-chunk over stores.
+* :mod:`repro.engine` — the lazy expression/plan engine: build reductions as
+  expressions (``engine.expr``) and fuse any number of them into shared decode
+  sweeps (one decode per chunk per pass, bit-identical to the sequential
+  calls) — see ``docs/engine.md``.
 * :mod:`repro.experiments` — one module per paper table/figure.
 
 Quickstart::

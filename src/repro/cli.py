@@ -10,10 +10,14 @@ Subcommands
                       is never fully loaded) into a chunked store.
 ``stream-decompress`` Reconstruct a ``.npy`` array — or just a region of it —
                       from a chunked store, one chunk at a time.
-``stream-ops``        Run a compressed-domain operation over chunked store(s)
+``stream-ops``        Run compressed-domain operation(s) over chunked store(s)
                       out-of-core: scalar reductions print their value, the
                       array-valued operations write a new store chunk-by-chunk
-                      (see ``docs/ops.md`` for the operation contracts).
+                      (see ``docs/ops.md`` for the operation contracts).  The
+                      ``evaluate`` operation fuses several ``--op`` reductions
+                      into one planned sweep set (``docs/engine.md``); ``--json``
+                      emits a machine-readable result with timing and the fused
+                      pass count.
 ``codecs``            List every registered codec with its capabilities and its
                       compression ratio on a standard 256×256 float64 probe.
 ``backends``          List every registered kernel backend (the execution
@@ -41,7 +45,8 @@ Examples
     repro stream-decompress output.pblzc roundtrip.npy --region 0:32,:,:
     repro stream-ops dot a.pblzc b.pblzc
     repro stream-ops mean a.pblzc --workers 4
-    repro stream-ops add a.pblzc b.pblzc --out sum.pblzc
+    repro stream-ops evaluate a.pblzc b.pblzc --op mean --op variance --op dot --json
+    repro stream-ops add a.pblzc b.pblzc --out sum.pblzc --workers 4
     repro stream-ops scale a.pblzc --scalar 2.5 --out scaled.pblzc
     repro codecs
     repro backends
@@ -188,25 +193,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ops = sub.add_parser(
         "stream-ops",
-        help="run a compressed-domain operation over chunked store(s) out-of-core",
+        help="run compressed-domain operation(s) over chunked store(s) out-of-core",
     )
-    p_ops.add_argument("operation", choices=sorted(_UNARY_OPS | _BINARY_OPS),
-                       help="compressed-domain operation (see docs/ops.md)")
+    p_ops.add_argument("operation",
+                       help="compressed-domain operation (see docs/ops.md), or "
+                            "`evaluate` to fuse several scalar reductions given "
+                            "via --op into one planned sweep (docs/engine.md)")
     p_ops.add_argument("store_a", help="chunked store (pyblaz family)")
     p_ops.add_argument("store_b", nargs="?", default=None,
                        help="second store for the binary operations "
                             "(must be chunked identically to the first)")
+    p_ops.add_argument("--op", dest="ops", action="append", default=None,
+                       metavar="OPERATION",
+                       help="scalar reduction to include in an `evaluate` plan "
+                            "(repeatable; all requested reductions share fused "
+                            "decode sweeps)")
     p_ops.add_argument("--out", default=None,
                        help="output store path (required by the array-valued "
                             "operations add/subtract/scale/negate)")
     p_ops.add_argument("--scalar", type=float, default=None,
                        help="scale factor (required by `scale`)")
     p_ops.add_argument("--workers", type=int, default=1,
-                       help="worker processes computing per-chunk fold partials "
-                            "(scalar reductions only)")
+                       help="worker processes computing per-chunk work units "
+                            "(fold partials for the scalar reductions, chunk "
+                            "transforms for add/subtract/scale/negate)")
     p_ops.add_argument("--true-mean", action="store_true",
                        help="rescale `mean` to the original element count instead "
                             "of the zero-padded block domain")
+    p_ops.add_argument("--json", action="store_true",
+                       help="emit one machine-readable JSON object (values, "
+                            "timing, fused pass count) instead of text lines")
 
     p_codecs = sub.add_parser("codecs", help="list registered codecs and their capabilities")
     p_codecs.add_argument("--no-probe", action="store_true",
@@ -373,28 +389,90 @@ def _cmd_stream_decompress(args: argparse.Namespace) -> int:
 
 
 #: stream-ops operations by arity and result kind.
-_UNARY_OPS = {"mean", "variance", "standard-deviation", "l2-norm", "negate", "scale"}
-_BINARY_OPS = {"dot", "covariance", "cosine-similarity", "euclidean-distance",
-               "add", "subtract"}
+_SCALAR_UNARY = {"mean", "variance", "standard-deviation", "l2-norm"}
+_SCALAR_BINARY = {"dot", "covariance", "cosine-similarity", "euclidean-distance"}
+_SCALAR_OPS = _SCALAR_UNARY | _SCALAR_BINARY
+_UNARY_OPS = _SCALAR_UNARY | {"negate", "scale"}
+_BINARY_OPS = _SCALAR_BINARY | {"add", "subtract"}
 _ARRAY_OPS = {"negate", "scale", "add", "subtract"}
+#: Everything the positional `operation` argument accepts.
+_OPERATIONS = sorted(_UNARY_OPS | _BINARY_OPS | {"evaluate"})
+
+
+def _scalar_expressions(names, store_a, store_b, true_mean: bool) -> dict:
+    """Build the engine expressions for the requested scalar reductions.
+
+    All expressions share the two source nodes, so the engine plan fuses
+    every fold over the same decode sweeps (``docs/engine.md``).
+    """
+    from .engine import expr
+
+    x = expr.source(store_a)
+    y = expr.source(store_b) if store_b is not None else None
+    builders = {
+        "mean": lambda: expr.mean(x, padded=not true_mean),
+        "variance": lambda: expr.variance(x),
+        "standard-deviation": lambda: expr.standard_deviation(x),
+        "l2-norm": lambda: expr.l2_norm(x),
+        "dot": lambda: expr.dot(x, y),
+        "covariance": lambda: expr.covariance(x, y),
+        "cosine-similarity": lambda: expr.cosine_similarity(x, y),
+        "euclidean-distance": lambda: expr.euclidean_distance(x, y),
+    }
+    return {name: builders[name]() for name in names}
 
 
 def _cmd_stream_ops(args: argparse.Namespace) -> int:
-    """Evaluate one out-of-core compressed-domain operation over store(s).
+    """Evaluate out-of-core compressed-domain operation(s) over store(s).
 
     Scalar reductions print ``<operation> = <value>`` (full repr precision);
+    ``evaluate`` runs every ``--op`` reduction through one fused engine plan;
     array-valued operations write ``--out`` chunk-by-chunk and report its chunk
-    count.  Usage errors (wrong arity, missing ``--out``/``--scalar``,
-    incompatible chunking) exit 2; codec errors (non-pyblaz store, corrupt
-    chunks) exit 3 via the shared :class:`CodecError` mapping.
+    count.  ``--json`` swaps the text for one machine-readable object with the
+    values, the wall-clock seconds and the fused decode-pass count.  Usage
+    errors (unknown operation, wrong arity, missing ``--out``/``--scalar``,
+    incompatible chunking) exit 2 and name the valid operation set where
+    relevant; codec errors (non-pyblaz store, corrupt chunks) exit 3 via the
+    shared :class:`CodecError` mapping.
     """
+    import json
+    import time
+
+    from . import engine
     from .parallel import ProcessExecutor
     from .streaming import ops as stream_ops
 
     operation = args.operation
-    binary = operation in _BINARY_OPS
+    if operation not in _OPERATIONS:
+        print(f"error: unknown operation {operation!r}; valid operations: "
+              f"{', '.join(_OPERATIONS)}", file=sys.stderr)
+        return 2
+    if args.ops and operation != "evaluate":
+        print("error: --op applies to the `evaluate` operation; run "
+              f"`stream-ops evaluate ... --op {operation}` to fuse reductions",
+              file=sys.stderr)
+        return 2
+    if operation == "evaluate":
+        requested = list(dict.fromkeys(args.ops or ()))
+        if not requested:
+            print("error: evaluate needs at least one --op reduction",
+                  file=sys.stderr)
+            return 2
+        unknown = [name for name in requested if name not in _SCALAR_OPS]
+        if unknown:
+            print(f"error: unknown operation {unknown[0]!r}; valid --op "
+                  f"operations: {', '.join(sorted(_SCALAR_OPS))}",
+                  file=sys.stderr)
+            return 2
+        binary = any(name in _SCALAR_BINARY for name in requested)
+    else:
+        requested = [operation]
+        binary = operation in _BINARY_OPS
     if binary and args.store_b is None:
-        print(f"error: {operation} needs two stores", file=sys.stderr)
+        needing = operation if operation != "evaluate" else ", ".join(
+            name for name in requested if name in _SCALAR_BINARY
+        )
+        print(f"error: {needing} needs two stores", file=sys.stderr)
         return 2
     if not binary and args.store_b is not None:
         print(f"error: {operation} takes a single store", file=sys.stderr)
@@ -407,48 +485,61 @@ def _cmd_stream_ops(args: argparse.Namespace) -> int:
         return 2
     executor = ProcessExecutor(n_workers=args.workers) if args.workers > 1 else None
 
-    scalar_unary = {
-        "mean": lambda store: stream_ops.mean(
-            store, padded=not args.true_mean, executor=executor
-        ),
-        "variance": lambda store: stream_ops.variance(store, executor=executor),
-        "standard-deviation": lambda store: stream_ops.standard_deviation(
-            store, executor=executor
-        ),
-        "l2-norm": lambda store: stream_ops.l2_norm(store, executor=executor),
-    }
-    scalar_binary = {
-        "dot": stream_ops.dot,
-        "covariance": stream_ops.covariance,
-        "cosine-similarity": stream_ops.cosine_similarity,
-        "euclidean-distance": stream_ops.euclidean_distance,
-    }
+    def run_scalars(store_a, store_b) -> int:
+        """Plan + execute the requested reductions as one fused sweep set."""
+        expressions = _scalar_expressions(requested, store_a, store_b,
+                                          args.true_mean)
+        fused = engine.plan(expressions)
+        start = time.perf_counter()
+        values = fused.execute(executor=executor)
+        seconds = time.perf_counter() - start
+        if args.json:
+            stores = [args.store_a] + ([args.store_b] if store_b is not None else [])
+            print(json.dumps({
+                "operations": values,
+                "passes": fused.n_passes,
+                "seconds": seconds,
+                "stores": stores,
+                "workers": args.workers,
+            }))
+        else:
+            for name in requested:
+                print(f"{name} = {values[name]!r}")
+        return 0
+
+    def report_store(out) -> None:
+        """Describe a freshly written array-valued result store."""
+        if args.json:
+            print(json.dumps({
+                "operation": operation,
+                "out": args.out,
+                "shape": list(out.shape),
+                "chunks": out.n_chunks,
+                "workers": args.workers,
+            }))
+        else:
+            print(f"{operation}: wrote {args.out} "
+                  f"(shape {out.shape}, chunks {out.n_chunks})")
 
     try:
         with CompressedStore(args.store_a) as store_a:
             if not binary:
-                if operation in scalar_unary:
-                    print(f"{operation} = {scalar_unary[operation](store_a)!r}")
-                    return 0
+                if operation not in _ARRAY_OPS:
+                    return run_scalars(store_a, None)
                 if operation == "negate":
-                    out = stream_ops.negate(store_a, args.out)
+                    out = stream_ops.negate(store_a, args.out, executor=executor)
                 else:
-                    out = stream_ops.scale(store_a, args.scalar, args.out)
+                    out = stream_ops.scale(store_a, args.scalar, args.out,
+                                           executor=executor)
                 with out:
-                    print(f"{operation}: wrote {args.out} "
-                          f"(shape {out.shape}, chunks {out.n_chunks})")
+                    report_store(out)
                 return 0
             with CompressedStore(args.store_b) as store_b:
-                if operation in scalar_binary:
-                    value = scalar_binary[operation](
-                        store_a, store_b, executor=executor
-                    )
-                    print(f"{operation} = {value!r}")
-                    return 0
+                if operation not in _ARRAY_OPS:
+                    return run_scalars(store_a, store_b)
                 mapped = stream_ops.add if operation == "add" else stream_ops.subtract
-                with mapped(store_a, store_b, args.out) as out:
-                    print(f"{operation}: wrote {args.out} "
-                          f"(shape {out.shape}, chunks {out.n_chunks})")
+                with mapped(store_a, store_b, args.out, executor=executor) as out:
+                    report_store(out)
                 return 0
     except CodecError:
         raise  # non-pyblaz or corrupt store: exit 3 via the shared mapping

@@ -39,6 +39,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from itertools import chain
+from typing import Callable
 
 import numpy as np
 
@@ -47,6 +48,10 @@ from .coefficients import require_compatible, specified_coefficients
 
 __all__ = [
     "FoldState",
+    "FoldSpec",
+    "FOLD_SPECS",
+    "get_fold_spec",
+    "evaluate",
     "combine",
     "combine_all",
     "total",
@@ -168,6 +173,21 @@ def total(state: FoldState, key: str) -> float:
 
 
 # ---------------------------------------------------------------------- helpers
+def _readonly_coefficients(chunk: CompressedArray) -> np.ndarray:
+    """Specified coefficients for read-only use: the primed cache when present.
+
+    Partials may *read* this array but never write it — operands a partial
+    mutates must go through :func:`specified_coefficients`, which returns an
+    owned copy.  Skipping the copy for read-only operands saves one memcpy per
+    binary partial under the engine's shared-cache sweeps; the bits are
+    identical either way.
+    """
+    cache = getattr(chunk, "coefficients_cache", None)
+    if cache is not None:
+        return cache
+    return specified_coefficients(chunk)
+
+
 def _per_block_sum(values: np.ndarray, ndim: int) -> np.ndarray:
     """Sum a blocked ``(grid..., block...)`` array within each block, raveled C-order.
 
@@ -209,7 +229,7 @@ def product_partial(a: CompressedArray, b: CompressedArray) -> FoldState:
     require_compatible(a, b, "dot product")
     ndim = a.settings.ndim
     products = specified_coefficients(a)
-    np.multiply(products, specified_coefficients(b), out=products)
+    np.multiply(products, _readonly_coefficients(b), out=products)
     return _state(a, {"product": [_per_block_sum(products, ndim)]})
 
 
@@ -224,7 +244,7 @@ def difference_square_partial(a: CompressedArray, b: CompressedArray) -> FoldSta
     """Per-block sums of ``(Ĉa − Ĉb)²`` — the partial of Euclidean distance."""
     require_compatible(a, b, "euclidean distance")
     difference = specified_coefficients(a)
-    np.subtract(difference, specified_coefficients(b), out=difference)
+    np.subtract(difference, _readonly_coefficients(b), out=difference)
     np.multiply(difference, difference, out=difference)
     return _state(a, {"diff_square": [_per_block_sum(difference, a.settings.ndim)]})
 
@@ -358,3 +378,107 @@ def finalize_cosine_similarity(state: FoldState) -> float:
     if denominator == 0.0:
         raise ZeroDivisionError("cosine similarity is undefined for zero-norm arrays")
     return total(state, "product") / denominator
+
+
+# ---------------------------------------------------------------------- fold specs
+@dataclass(frozen=True)
+class FoldSpec:
+    """Declarative description of one fold: the unit the planner schedules.
+
+    A spec names a partial, states what it needs (operand count, DC
+    availability, pass-1 DC means for the centered folds) and how to finish it.
+    The in-memory operations consume specs through :func:`evaluate`; the lazy
+    engine (:mod:`repro.engine`) consumes the same specs to fuse many folds
+    into shared sweeps over a store, deduplicating equal ``(name, operands)``
+    terms across the requested outputs.
+
+    Attributes
+    ----------
+    name:
+        Registry key, also the natural name of the partial it wraps.
+    arity:
+        Number of compressed operands the partial folds (1 or 2).
+    requires_dc:
+        Whether the partial needs each block's first (DC) coefficient unpruned;
+        the planner fails fast on store sources whose pruning mask dropped it.
+    partial:
+        ``(*chunks, *extra) -> FoldState`` — the per-chunk partial.
+    finalize:
+        ``FoldState -> float`` (possibly with keyword options, e.g. the mean's
+        ``padded``) turning the accumulated state into the scalar.
+    centered:
+        True for the two-pass folds whose ``extra`` arguments are the operands'
+        global DC means (one per operand, from a :func:`dc_grand_mean` pass).
+    touches_coefficients:
+        Whether the partial materialises the full specified-coefficient array
+        (everything except the DC-only fold); the engine uses this to decide
+        which decoded chunks are worth a shared coefficient cache.
+    """
+
+    name: str
+    arity: int
+    requires_dc: bool
+    partial: Callable[..., FoldState]
+    finalize: Callable[..., float]
+    centered: bool = False
+    touches_coefficients: bool = True
+
+    @property
+    def n_extra(self) -> int:
+        """Number of extra scalar arguments the partial takes (DC means)."""
+        return self.arity if self.centered else 0
+
+
+#: Every fold the operation set factors into, by name.  ``dc`` doubles as the
+#: mean fold (finalized with :func:`finalize_mean`) and as pass 1 of the
+#: centered folds (finalized with :func:`dc_grand_mean`) — the planner reuses a
+#: single accumulated ``dc`` state for both.
+FOLD_SPECS: dict[str, FoldSpec] = {
+    spec.name: spec
+    for spec in (
+        FoldSpec("dc", 1, True, dc_partial, finalize_mean,
+                 touches_coefficients=False),
+        FoldSpec("square", 1, False, square_partial, finalize_l2_norm),
+        FoldSpec("product", 2, False, product_partial, finalize_dot),
+        FoldSpec("diff_square", 2, False, difference_square_partial,
+                 finalize_euclidean_distance),
+        FoldSpec("similarity", 2, False, similarity_partial,
+                 finalize_cosine_similarity),
+        FoldSpec("centered_square", 1, True, centered_square_partial,
+                 finalize_variance, centered=True),
+        FoldSpec("centered_product", 2, True, centered_product_partial,
+                 finalize_covariance, centered=True),
+    )
+}
+
+
+def get_fold_spec(name: str) -> FoldSpec:
+    """Look up a registered :class:`FoldSpec`; raise ``KeyError`` with the valid set."""
+    try:
+        return FOLD_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fold {name!r}; registered folds: {sorted(FOLD_SPECS)}"
+        ) from None
+
+
+def evaluate(name: str, *operands: CompressedArray, extra: tuple = (),
+             **finalize_options) -> float:
+    """Run one registered fold start-to-finish over in-memory operands.
+
+    The single-chunk path the :mod:`repro.core.ops` wrappers use: one partial
+    over the whole array (or array pair), one finalize.  ``extra`` carries the
+    centered folds' DC means; ``finalize_options`` are passed to the spec's
+    finalizer (e.g. the mean's ``padded``).
+    """
+    spec = get_fold_spec(name)
+    if len(operands) != spec.arity:
+        raise ValueError(
+            f"fold {name!r} takes {spec.arity} operand(s), got {len(operands)}"
+        )
+    if len(extra) != spec.n_extra:
+        raise ValueError(
+            f"fold {name!r} takes {spec.n_extra} extra argument(s) "
+            f"(the operands' global DC means), got {len(extra)}"
+        )
+    return spec.finalize(spec.partial(*operands, *extra), **finalize_options)

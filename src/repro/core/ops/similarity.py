@@ -36,7 +36,7 @@ def cosine_similarity(a: CompressedArray, b: CompressedArray) -> float:
     are).  Raises ``ZeroDivisionError`` if either operand has zero norm, for
     which cosine similarity is undefined.
     """
-    return folds.finalize_cosine_similarity(folds.similarity_partial(a, b))
+    return folds.evaluate("similarity", a, b)
 
 
 def structural_similarity(

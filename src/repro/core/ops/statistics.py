@@ -53,9 +53,7 @@ def covariance(a: CompressedArray, b: CompressedArray) -> float:
     require_compatible(a, b, "covariance")
     mean_a = folds.dc_grand_mean(folds.dc_partial(a))
     mean_b = folds.dc_grand_mean(folds.dc_partial(b))
-    return folds.finalize_covariance(
-        folds.centered_product_partial(a, b, mean_a, mean_b)
-    )
+    return folds.evaluate("centered_product", a, b, extra=(mean_a, mean_b))
 
 
 def variance(compressed: CompressedArray) -> float:
@@ -65,7 +63,7 @@ def variance(compressed: CompressedArray) -> float:
     sums squares); requires the DC coefficient to be unpruned.
     """
     mean_dc = folds.dc_grand_mean(folds.dc_partial(compressed))
-    return folds.finalize_variance(folds.centered_square_partial(compressed, mean_dc))
+    return folds.evaluate("centered_square", compressed, extra=(mean_dc,))
 
 
 def standard_deviation(compressed: CompressedArray) -> float:

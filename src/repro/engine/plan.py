@@ -1,0 +1,622 @@
+"""The fusing planner: many compressed-domain reductions, one sweep per pass.
+
+:func:`plan` compiles a set of reduction expressions (:mod:`repro.engine.expr`)
+into a :class:`Plan` whose execution decodes every chunk of every source
+**once per pass**, however many reductions consume it.  Planning happens in
+three steps:
+
+1. **Collect** — each requested reduction is decomposed into the fold *terms*
+   it needs, straight from the declarative :data:`repro.core.ops.folds.FOLD_SPECS`:
+   ``mean(x)`` needs ``dc(x)``; ``dot(x, y)`` needs ``product(x, y)``;
+   ``cosine_similarity(x, y)`` needs ``product(x, y)``, ``square(x)`` and
+   ``square(y)``; ``variance(x)`` needs ``dc(x)`` in pass 1 and
+   ``centered_square(x)`` in pass 2; ``covariance(x, y)`` needs ``dc`` of both
+   operands in pass 1 and ``centered_product(x, y)`` in pass 2.
+2. **Deduplicate** — terms are keyed by ``(fold name, operand nodes)``, so the
+   dot and the cosine similarity of the same pair share one product sum, the
+   l2 norm and the cosine share one square sum, and the mean, variance and
+   covariance of the same source share one DC sum (variance's pass-1 mean *is*
+   covariance's).  Structural nodes (``add``/``scale``/…) deduplicate the same
+   way through their structural keys.
+3. **Schedule** — pass 1 holds every uncentered term, pass 2 (present exactly
+   when a two-pass reduction was requested) holds the centered terms, whose
+   extra arguments (global DC means) are finalized from pass 1's ``dc`` states.
+   Within a pass, terms are grouped by source so each aligned chunk tuple is
+   decoded once and feeds every partial that wants it; decoded chunks shared by
+   two or more coefficient-touching folds get a primed ``coefficients_cache``
+   (one dense materialisation, bitwise-identical copies per fold).
+
+**Pass-count guarantee**: ``plan.n_passes`` is 1 when no requested reduction is
+two-pass, else 2; a source is decoded only in the passes whose terms reference
+it (``plan.decode_passes``), at exactly one decode per chunk per pass.
+
+**Bit-identity guarantee**: every fused scalar equals the corresponding
+sequential :mod:`repro.streaming.ops` call bit for bit — the per-block partial
+sums are computed by the same partials on the same chunk bits, and
+:func:`repro.core.ops.folds.total` finalizes with ``math.fsum`` over the same
+per-chunk vectors in the same chunk order.
+
+Executor fan-out: with an ``executor`` (any :class:`repro.parallel.BlockExecutor`)
+and store-only sources, each pass dispatches one *batched multi-partial job*
+per chunk through :meth:`BlockExecutor.map_jobs` — the worker decodes the
+chunk tuple once and returns every fused partial's state — and states combine
+in chunk order, keeping results identical to the serial sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Mapping
+
+from ..core import ops as core_ops
+from ..core.ops import folds
+from ..streaming.sources import aligned_chunks, check_stores, require_pyblaz
+from ..streaming.store import CompressedStore
+from .expr import ArrayExpr, Expr, Reduction, Source, TWO_PASS_OPS
+
+__all__ = ["Plan", "PlanPass", "PassGroup", "plan", "evaluate"]
+
+
+# ------------------------------------------------------------------ chunk programs
+def _node_inputs(entry: tuple) -> tuple:
+    """The node slots one program entry reads (its structural operands)."""
+    kind = entry[0]
+    if kind == "source":
+        return ()
+    if kind in ("add", "subtract"):
+        return entry[1:3]
+    return (entry[1],)  # scale, negate
+
+
+def _needed_slots(program: tuple, terms: tuple) -> set[int]:
+    """Transitive closure of node slots the given terms read."""
+    needed: set[int] = set()
+    stack = [slot for _, slots in terms for slot in slots]
+    while stack:
+        slot = stack.pop()
+        if slot in needed:
+            continue
+        needed.add(slot)
+        stack.extend(_node_inputs(program[slot]))
+    return needed
+
+
+def _evaluate_chunk_terms(program: tuple, values: dict, terms: tuple,
+                          extras: tuple) -> list[folds.FoldState]:
+    """One fused chunk step: structural nodes, shared caches, every term's partial.
+
+    ``values`` arrives holding the decoded source chunks for this step (slot →
+    :class:`CompressedArray`); structural slots are filled by the in-memory
+    :mod:`repro.core.ops` operations in slot (topological) order.  Chunks that
+    feed two or more coefficient-touching folds get a primed
+    ``coefficients_cache`` so the dense coefficient array is materialised once
+    and copied per fold (bitwise identical — see
+    :func:`repro.core.ops.coefficients.specified_coefficients`).
+    """
+    needed = _needed_slots(program, terms)
+    for slot in sorted(needed):
+        if slot in values:
+            continue
+        entry = program[slot]
+        kind = entry[0]
+        if kind == "add":
+            values[slot] = core_ops.add(values[entry[1]], values[entry[2]])
+        elif kind == "subtract":
+            values[slot] = core_ops.subtract(values[entry[1]], values[entry[2]])
+        elif kind == "scale":
+            values[slot] = core_ops.multiply_scalar(values[entry[1]], entry[2])
+        elif kind == "negate":
+            values[slot] = core_ops.negate(values[entry[1]])
+        else:  # pragma: no cover - compilation always seeds source slots
+            raise ValueError(f"source chunk for slot {slot} was not decoded")
+
+    uses: Counter = Counter()
+    for (name, slots), _ in zip(terms, extras):
+        if folds.FOLD_SPECS[name].touches_coefficients:
+            uses.update(slots)
+    primed = []
+    for slot, count in uses.items():
+        if count >= 2:
+            chunk = values[slot]
+            chunk.coefficients_cache = chunk.specified_coefficients()
+            primed.append(chunk)
+
+    try:
+        states = []
+        for (name, slots), extra in zip(terms, extras):
+            partial = folds.FOLD_SPECS[name].partial
+            states.append(partial(*(values[slot] for slot in slots), *extra))
+    finally:
+        # the cache is strictly step-scoped: chunk objects may be caller-owned
+        # (sequence sources) and must neither retain dense coefficients nor
+        # serve stale bits to later operations if mutated
+        for chunk in primed:
+            del chunk.coefficients_cache
+    return states
+
+
+def _plan_pass_job(program: tuple, paths: tuple, terms: tuple, extras: tuple,
+                   index: int) -> list[folds.FoldState]:
+    """Picklable batched multi-partial job: one chunk decode feeds every fused fold.
+
+    Workers (possibly in other processes) reopen each needed store by path,
+    decode only chunk ``index`` of each — one decode per source per job — and
+    return the full list of fold partial states for this chunk, orders of
+    magnitude smaller than the chunk itself.
+    """
+    values = {}
+    for slot, path in paths:
+        with CompressedStore(path) as store:
+            values[slot] = store.read_chunk(index)
+    return _evaluate_chunk_terms(program, values, terms, extras)
+
+
+# ------------------------------------------------------------------ the plan
+class PassGroup:
+    """One aligned sweep within a pass: terms over one connected source set.
+
+    Terms that share no source decode independently — fusing ``mean(a)`` with
+    ``mean(b)`` must not force ``a`` and ``b`` into one lockstep iteration
+    (they may be shaped or chunked differently).  The planner therefore
+    partitions each pass's terms into connected components over their source
+    sets; geometry checks (`check_stores`) and chunk alignment apply *within*
+    a group only.
+    """
+
+    def __init__(self, terms: tuple, source_slots: tuple, source_indices: tuple):
+        self.terms = terms
+        self.source_slots = source_slots
+        self.source_indices = source_indices
+
+    def __repr__(self) -> str:
+        names = ", ".join(f"{name}{slots}" for name, slots in self.terms)
+        return f"PassGroup(sources={self.source_indices}, terms=[{names}])"
+
+
+class PlanPass:
+    """One scheduling pass: every term folded during it, grouped by source set.
+
+    Attributes
+    ----------
+    index:
+        1-based pass number (pass 2 exists only for two-pass reductions).
+    terms:
+        ``(fold name, operand slots)`` keys folded during this pass, in a
+        deterministic collection order.
+    groups:
+        The :class:`PassGroup` sweeps — one aligned chunk iteration per
+        connected source set; each group's sources are decoded exactly once
+        per chunk during its sweep.
+    source_slots:
+        Node slots of every leaf source this pass decodes (union over groups,
+        aligned with ``source_indices``).
+    source_indices:
+        Indices into :attr:`Plan.sources` of the sources this pass decodes.
+    """
+
+    def __init__(self, index: int, terms: tuple, groups: tuple):
+        self.index = index
+        self.terms = terms
+        self.groups = groups
+        self.source_slots = tuple(slot for group in groups
+                                  for slot in group.source_slots)
+        self.source_indices = tuple(source for group in groups
+                                    for source in group.source_indices)
+
+    def __repr__(self) -> str:
+        names = ", ".join(f"{name}{slots}" for name, slots in self.terms)
+        return f"PlanPass({self.index}, sources={self.source_indices}, terms=[{names}])"
+
+
+class Plan:
+    """A compiled, introspectable fusion of reduction expressions.
+
+    Build with :func:`plan`; run with :meth:`execute`.  The plan is reusable —
+    executing twice re-sweeps the sources (stores re-read from disk; plain
+    chunk sequences re-iterated).
+
+    Attributes
+    ----------
+    sources:
+        The deduplicated leaf sources, in first-appearance order.
+    passes:
+        The scheduled :class:`PlanPass` sweeps (length = :attr:`n_passes`).
+    """
+
+    def __init__(self, outputs: dict, program: tuple, sources: list,
+                 passes: list[PlanPass], shape: str):
+        self._outputs = outputs
+        self._program = program
+        self.sources = tuple(sources)
+        self.passes = tuple(passes)
+        self._shape = shape
+
+    # -------------------------------------------------------------- introspection
+    @property
+    def n_passes(self) -> int:
+        """Number of fused sweeps: 1, or 2 when any two-pass reduction is present."""
+        return len(self.passes)
+
+    @property
+    def output_keys(self) -> tuple:
+        """Keys of the requested outputs, in request order."""
+        return tuple(self._outputs)
+
+    @property
+    def decode_passes(self) -> tuple[int, ...]:
+        """Per source (aligned with :attr:`sources`): how many passes decode it."""
+        counts = [0] * len(self.sources)
+        for pass_ in self.passes:
+            for source_index in pass_.source_indices:
+                counts[source_index] += 1
+        return tuple(counts)
+
+    def describe(self) -> str:
+        """Human-readable plan: sources, per-pass fused terms, outputs."""
+        lines = [f"plan: {self.n_passes} pass(es) over {len(self.sources)} source(s), "
+                 f"{len(self._outputs)} output(s)"]
+        for index, source in enumerate(self.sources):
+            label = type(source).__name__
+            if isinstance(source, CompressedStore):
+                label = f"CompressedStore({source.path})"
+            lines.append(f"  source s{index}: {label}")
+        for pass_ in self.passes:
+            for group in pass_.groups:
+                terms = ", ".join(f"{name}{slots}" for name, slots in group.terms)
+                decoded = ", ".join(f"s{i}" for i in group.source_indices)
+                lines.append(f"  pass {pass_.index}: decode [{decoded}] once per "
+                             f"chunk; fold {terms}")
+        for key, (op, slots, _) in self._outputs.items():
+            lines.append(f"  output {key!r}: {op}{slots}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Plan(outputs={list(self._outputs)}, passes={self.n_passes}, "
+                f"sources={len(self.sources)})")
+
+    # -------------------------------------------------------------- validation
+    def _validate_sources(self) -> None:
+        """Upfront checks: pyblaz stores, per-group geometry, DC availability,
+        re-iterability.
+
+        Geometry (shape and chunking) must match only *within* a sweep group —
+        unrelated reductions fuse across differently shaped or chunked sources.
+        DC-requiring folds (``FoldSpec.requires_dc``) fail fast when a store
+        source's pruning mask dropped the first coefficient, instead of deep in
+        the first sweep.
+        """
+        for source in self.sources:
+            if isinstance(source, CompressedStore):
+                require_pyblaz(source)
+        for pass_ in self.passes:
+            for group in pass_.groups:
+                check_stores([self.sources[index]
+                              for index in group.source_indices])
+            for name, slots in pass_.terms:
+                if not folds.FOLD_SPECS[name].requires_dc:
+                    continue
+                for slot in sorted(_needed_slots(self._program, ((name, slots),))):
+                    if self._program[slot][0] != "source":
+                        continue
+                    source = self.sources[self._program[slot][1]]
+                    settings = (source.settings
+                                if isinstance(source, CompressedStore) else None)
+                    if settings is not None and not settings.first_coefficient_kept:
+                        raise ValueError(
+                            f"{name} requires the first coefficient of each "
+                            "block to be unpruned"
+                        )
+        multi_pass = [index for index, count in enumerate(self.decode_passes)
+                      if count >= 2]
+        if not multi_pass:
+            return
+        two_pass_ops = sorted({op for op, _, _ in self._outputs.values()
+                               if op in TWO_PASS_OPS})
+        name = ", ".join(two_pass_ops) or "the plan"
+        for index in multi_pass:
+            source = self.sources[index]
+            if not isinstance(source, CompressedStore) and iter(source) is source:
+                raise ValueError(
+                    f"{name} folds over its source twice (mean pass + centered "
+                    "pass); pass a CompressedStore or a re-iterable sequence of "
+                    "chunks, not a single-shot generator"
+                )
+
+    # -------------------------------------------------------------- execution
+    def _extras(self, terms: tuple, means: Mapping[int, float]) -> tuple:
+        """Resolve each term's extra arguments (DC means for centered folds)."""
+        resolved = []
+        for name, slots in terms:
+            if folds.FOLD_SPECS[name].centered:
+                resolved.append(tuple(means[slot] for slot in slots))
+            else:
+                resolved.append(())
+        return tuple(resolved)
+
+    def _run_pass(self, pass_: PlanPass, extras: tuple, executor) -> list:
+        """Execute one pass; return the combined state per term (pass order).
+
+        Each :class:`PassGroup` runs its own aligned sweep over its connected
+        source set.  Serial (``executor=None`` or non-store sources): chunk
+        tuples stream through one at a time, so peak memory is one chunk per
+        decoded source plus any structural intermediates.  With an executor
+        and store-only group sources, one batched multi-partial job per chunk
+        fans out via ``map_jobs`` and states combine in chunk order —
+        deterministic and bit-identical to the serial sweep because the
+        combine is exact.
+        """
+        extra_by_term = dict(zip(pass_.terms, extras))
+        state_by_term: dict = {}
+        for group in pass_.groups:
+            group_extras = tuple(extra_by_term[term] for term in group.terms)
+            source_items = [(slot, self.sources[src_index])
+                            for slot, src_index in zip(group.source_slots,
+                                                       group.source_indices)]
+            pooled = executor is not None and all(
+                isinstance(source, CompressedStore) for _, source in source_items
+            )
+            if pooled:
+                paths = tuple((slot, str(source.path))
+                              for slot, source in source_items)
+                n_chunks = source_items[0][1].n_chunks
+                jobs = [(self._program, paths, group.terms, group_extras, index)
+                        for index in range(n_chunks)]
+                per_chunk = executor.map_jobs(_plan_pass_job, jobs)
+                collected = [list(states) for states in zip(*per_chunk)]
+                if not collected:
+                    collected = [[] for _ in group.terms]
+            else:
+                collected = [[] for _ in group.terms]
+                sources = tuple(source for _, source in source_items)
+                slots = tuple(slot for slot, _ in source_items)
+                for chunks in aligned_chunks(sources):
+                    values = dict(zip(slots, chunks))
+                    chunks = None  # the step owns the chunks now
+                    states = _evaluate_chunk_terms(self._program, values,
+                                                   group.terms, group_extras)
+                    values = None  # drop the coefficients before the next decode
+                    for bucket, state in zip(collected, states):
+                        bucket.append(state)
+            for term, bucket in zip(group.terms, collected):
+                combined = folds.combine_all(bucket)
+                if combined is None:
+                    raise ValueError("cannot reduce an empty chunk stream")
+                state_by_term[term] = combined
+        return [state_by_term[term] for term in pass_.terms]
+
+    def execute(self, *, executor=None):
+        """Run every pass and finalize the requested scalars.
+
+        Returns a dict keyed like the request, a list for a sequence request,
+        or the bare scalar for a single-expression request.
+        """
+        self._validate_sources()
+        states: dict = {}
+        means: dict[int, float] = {}
+        for pass_ in self.passes:
+            extras = self._extras(pass_.terms, means)
+            for term, state in zip(pass_.terms,
+                                   self._run_pass(pass_, extras, executor)):
+                states[term] = state
+            if pass_.index == 1 and self.n_passes == 2:
+                for name, slots in self.passes[1].terms:
+                    if folds.FOLD_SPECS[name].centered:
+                        for slot in slots:
+                            if slot not in means:
+                                means[slot] = folds.dc_grand_mean(
+                                    states[("dc", (slot,))]
+                                )
+        results = {key: self._finalize_output(spec, states)
+                   for key, spec in self._outputs.items()}
+        if self._shape == "single":
+            return next(iter(results.values()))
+        if self._shape == "sequence":
+            return list(results.values())
+        return results
+
+    def _finalize_output(self, spec: tuple, states: Mapping) -> float:
+        """Turn accumulated term states into one requested scalar."""
+        op, slots, options = spec
+        if op == "mean":
+            return folds.finalize_mean(states[("dc", slots)], **options)
+        if op == "l2_norm":
+            return folds.finalize_l2_norm(states[("square", slots)])
+        if op == "dot":
+            return folds.finalize_dot(states[("product", slots)])
+        if op == "euclidean_distance":
+            return folds.finalize_euclidean_distance(states[("diff_square", slots)])
+        if op == "variance":
+            return folds.finalize_variance(states[("centered_square", slots)])
+        if op == "standard_deviation":
+            return float(math.sqrt(
+                folds.finalize_variance(states[("centered_square", slots)])
+            ))
+        if op == "covariance":
+            return folds.finalize_covariance(states[("centered_product", slots)])
+        if op == "cosine_similarity":
+            product = states[("product", slots)]
+            merged = folds.FoldState(
+                sums={
+                    "product": product.sums["product"],
+                    "square_a": states[("square", (slots[0],))].sums["square"],
+                    "square_b": states[("square", (slots[1],))].sums["square"],
+                },
+                n_blocks=product.n_blocks,
+                n_elements=product.n_elements,
+                n_padded_elements=product.n_padded_elements,
+            )
+            return folds.finalize_cosine_similarity(merged)
+        raise ValueError(f"unknown reduction {op!r}")  # pragma: no cover
+
+
+# ------------------------------------------------------------------ compilation
+#: Decomposition of each reduction into (pass number, fold name, operand picker);
+#: the picker maps the reduction's operand slots to the term's operand slots.
+_TERM_RECIPES: dict[str, tuple] = {
+    "mean": ((1, "dc", lambda s: s),),
+    "l2_norm": ((1, "square", lambda s: s),),
+    "dot": ((1, "product", lambda s: s),),
+    "euclidean_distance": ((1, "diff_square", lambda s: s),),
+    "cosine_similarity": (
+        (1, "product", lambda s: s),
+        (1, "square", lambda s: (s[0],)),
+        (1, "square", lambda s: (s[1],)),
+    ),
+    "variance": (
+        (1, "dc", lambda s: s),
+        (2, "centered_square", lambda s: s),
+    ),
+    "standard_deviation": (
+        (1, "dc", lambda s: s),
+        (2, "centered_square", lambda s: s),
+    ),
+    "covariance": (
+        (1, "dc", lambda s: (s[0],)),
+        (1, "dc", lambda s: (s[1],)),
+        (2, "centered_product", lambda s: s),
+    ),
+}
+
+
+def _normalize_request(request) -> tuple[dict, str]:
+    """Coerce the request into an ordered ``key -> Reduction`` mapping + shape."""
+    if isinstance(request, Expr):
+        return {"result": request}, "single"
+    if isinstance(request, Mapping):
+        return dict(request), "mapping"
+    if isinstance(request, (list, tuple)):
+        return {index: expression for index, expression in enumerate(request)}, \
+            "sequence"
+    raise TypeError(
+        f"plan() takes an expression, a mapping or a sequence of expressions, "
+        f"got {type(request).__name__}"
+    )
+
+
+def plan(request) -> Plan:
+    """Compile reduction expressions into a fused, introspectable :class:`Plan`.
+
+    ``request`` may be a single :class:`~repro.engine.expr.Reduction`, a
+    mapping of names to reductions, or a sequence of reductions;
+    :meth:`Plan.execute` returns results in the matching shape.  Raises
+    ``TypeError`` for array-valued expressions (materialise those with
+    :mod:`repro.streaming.ops`) and ``ValueError`` for an empty request.
+    """
+    requested, shape = _normalize_request(request)
+    if not requested:
+        raise ValueError("cannot plan an empty set of expressions")
+
+    program: list[tuple] = []
+    sources: list = []
+    slot_by_key: dict = {}
+    source_slot_by_id: dict[int, int] = {}
+
+    def intern(node: ArrayExpr) -> int:
+        """Intern one array node (and its operands) into the chunk program."""
+        key = node.key
+        if key in slot_by_key:
+            return slot_by_key[key]
+        if isinstance(node, Source):
+            source_index = source_slot_by_id.get(id(node.wrapped))
+            if source_index is None:
+                source_index = len(sources)
+                sources.append(node.wrapped)
+                source_slot_by_id[id(node.wrapped)] = source_index
+            entry: tuple = ("source", source_index)
+        else:
+            operand_slots = tuple(intern(operand) for operand in node.operands)
+            if node.kind == "scale":
+                entry = ("scale", operand_slots[0], node.factor)
+            elif node.kind == "negate":
+                entry = ("negate", operand_slots[0])
+            else:
+                entry = (node.kind,) + operand_slots
+        program.append(entry)
+        slot = len(program) - 1
+        slot_by_key[key] = slot
+        return slot
+
+    pass_terms: dict[int, dict] = {1: {}, 2: {}}
+    outputs: dict = {}
+    for key, expression in requested.items():
+        if not isinstance(expression, Reduction):
+            hint = (" (array-valued expressions are materialised by "
+                    "repro.streaming.ops, not planned)") \
+                if isinstance(expression, ArrayExpr) else ""
+            raise TypeError(
+                f"plan() fuses scalar reductions; output {key!r} is "
+                f"{type(expression).__name__}{hint}"
+            )
+        recipe = _TERM_RECIPES.get(expression.op)
+        if recipe is None:
+            raise ValueError(
+                f"unknown reduction {expression.op!r}; valid reductions: "
+                f"{sorted(_TERM_RECIPES)}"
+            )
+        operand_slots = tuple(intern(operand) for operand in expression.operands)
+        for pass_index, fold_name, pick in recipe:
+            term = (fold_name, pick(operand_slots))
+            pass_terms[pass_index].setdefault(term, None)
+        outputs[key] = (expression.op, operand_slots, dict(expression.options))
+
+    frozen_program = tuple(program)
+    passes: list[PlanPass] = []
+    for pass_index in (1, 2):
+        terms = tuple(pass_terms[pass_index])
+        if not terms:
+            continue
+        passes.append(PlanPass(len(passes) + 1, terms,
+                               _group_terms(frozen_program, terms)))
+
+    return Plan(outputs, frozen_program, sources, passes, shape)
+
+
+def _group_terms(program: tuple, terms: tuple) -> tuple:
+    """Partition a pass's terms into connected components over their sources.
+
+    Terms sharing any source must fold from one aligned sweep (the shared
+    chunk is decoded once for all of them); terms over disjoint sources sweep
+    independently, so unrelated reductions fuse even when their sources have
+    different shapes or chunkings.  Groups and their terms keep first-seen
+    order, so execution stays deterministic.
+    """
+    term_sources = {
+        term: tuple(sorted(
+            slot for slot in _needed_slots(program, (term,))
+            if program[slot][0] == "source"
+        ))
+        for term in terms
+    }
+    parent: dict[int, int] = {}
+
+    def find(slot: int) -> int:
+        """Union-find root with path compression."""
+        root = parent.setdefault(slot, slot)
+        while root != parent[root]:
+            root = parent[root]
+        while parent[slot] != root:
+            parent[slot], slot = root, parent[slot]
+        return root
+
+    for slots in term_sources.values():
+        first = find(slots[0])
+        for slot in slots[1:]:
+            parent[find(slot)] = first
+
+    grouped: dict[int, list] = {}
+    for term in terms:
+        grouped.setdefault(find(term_sources[term][0]), []).append(term)
+    groups = []
+    for members in grouped.values():
+        source_slots = tuple(sorted(
+            {slot for term in members for slot in term_sources[term]}
+        ))
+        source_indices = tuple(program[slot][1] for slot in source_slots)
+        groups.append(PassGroup(tuple(members), source_slots, source_indices))
+    return tuple(groups)
+
+
+def evaluate(request, *, executor=None):
+    """Compile and run in one call: ``plan(request).execute(executor=executor)``."""
+    return plan(request).execute(executor=executor)

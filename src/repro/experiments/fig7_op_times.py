@@ -53,7 +53,13 @@ OPERATIONS: tuple[str, ...] = (
     "ssim",
 )
 
-#: The out-of-core ablation rows: store-level counterparts via streaming.ops.
+#: The out-of-core ablation rows: store-level counterparts via streaming.ops,
+#: plus the fused-vs-sequential engine comparison on the six-reduction workload
+#: (mean, variance, l2_norm, dot, covariance, cosine_similarity): the
+#: ``store_6op_sequential`` row times six independent ``streaming.ops`` calls
+#: (12 decode sweeps across the two stores), ``store_6op_fused`` times one
+#: :mod:`repro.engine` plan (2 fused sweeps per store) producing bit-identical
+#: scalars.  The per-store decode-pass counts land in the result metadata.
 STORE_OPERATIONS: tuple[str, ...] = (
     "store_dot",
     "store_l2_norm",
@@ -61,6 +67,8 @@ STORE_OPERATIONS: tuple[str, ...] = (
     "store_mean",
     "store_variance",
     "store_add",
+    "store_6op_sequential",
+    "store_6op_fused",
 )
 
 
@@ -80,13 +88,42 @@ class Fig7Config:
     slab_rows: int = 16
 
 
+def _six_op_expressions(store_a, store_b) -> dict:
+    """The fused-benchmark workload: the six Table I reductions over two stores."""
+    from ..engine import expr
+
+    x, y = expr.source(store_a), expr.source(store_b)
+    return {
+        "mean": expr.mean(x),
+        "variance": expr.variance(x),
+        "l2_norm": expr.l2_norm(x),
+        "dot": expr.dot(x, y),
+        "covariance": expr.covariance(x, y),
+        "cosine_similarity": expr.cosine_similarity(x, y),
+    }
+
+
 def _store_timings(store_a, store_b, out_path) -> dict:
     """The timed store-level operation closures over two open chunked stores."""
+    from .. import engine
     from ..streaming import ops as stream_ops
 
     def timed_add():
         """One store-level add, closing (and then overwriting) the output store."""
         stream_ops.add(store_a, store_b, out_path).close()
+
+    def timed_six_sequential():
+        """The six-reduction workload as independent sweeps (one per op call)."""
+        stream_ops.mean(store_a)
+        stream_ops.variance(store_a)
+        stream_ops.l2_norm(store_a)
+        stream_ops.dot(store_a, store_b)
+        stream_ops.covariance(store_a, store_b)
+        stream_ops.cosine_similarity(store_a, store_b)
+
+    def timed_six_fused():
+        """The same six reductions through one fused engine plan (2 sweeps)."""
+        engine.evaluate(_six_op_expressions(store_a, store_b))
 
     return {
         "store_dot": lambda: stream_ops.dot(store_a, store_b),
@@ -95,13 +132,42 @@ def _store_timings(store_a, store_b, out_path) -> dict:
         "store_mean": lambda: stream_ops.mean(store_a),
         "store_variance": lambda: stream_ops.variance(store_a),
         "store_add": timed_add,
+        "store_6op_sequential": timed_six_sequential,
+        "store_6op_fused": timed_six_fused,
     }
+
+
+def _six_op_decode_passes(store_a, store_b) -> dict:
+    """Measured decode sweeps per store for the six-op workload, both schedules."""
+    from .. import engine
+    from ..streaming import ops as stream_ops
+
+    counts = {}
+    before = (store_a.chunks_read, store_b.chunks_read)
+    stream_ops.mean(store_a)
+    stream_ops.variance(store_a)
+    stream_ops.l2_norm(store_a)
+    stream_ops.dot(store_a, store_b)
+    stream_ops.covariance(store_a, store_b)
+    stream_ops.cosine_similarity(store_a, store_b)
+    counts["sequential"] = {
+        "store_a": (store_a.chunks_read - before[0]) // store_a.n_chunks,
+        "store_b": (store_b.chunks_read - before[1]) // store_b.n_chunks,
+    }
+    before = (store_a.chunks_read, store_b.chunks_read)
+    engine.evaluate(_six_op_expressions(store_a, store_b))
+    counts["fused"] = {
+        "store_a": (store_a.chunks_read - before[0]) // store_a.n_chunks,
+        "store_b": (store_b.chunks_read - before[1]) // store_b.n_chunks,
+    }
+    return counts
 
 
 def run(config: Fig7Config = Fig7Config()) -> ExperimentResult:
     """Time every Fig 7 operation across sizes and setting combinations."""
     rng = np.random.default_rng(config.seed)
     rows: list[tuple] = []
+    six_op_passes: dict | None = None
     with tempfile.TemporaryDirectory(prefix="fig7_stores_") as tmp:
         workdir = Path(tmp)
         for float_format in config.float_formats:
@@ -144,6 +210,8 @@ def run(config: Fig7Config = Fig7Config()) -> ExperimentResult:
                         timed.update(
                             _store_timings(*stores, workdir / "out.pblzc")
                         )
+                        if six_op_passes is None:
+                            six_op_passes = _six_op_decode_passes(*stores)
                     try:
                         for operation, function in timed.items():
                             seconds = median_time(function, config.repeats)
@@ -163,6 +231,9 @@ def run(config: Fig7Config = Fig7Config()) -> ExperimentResult:
             "sizes": config.sizes,
             "out_of_core": config.out_of_core,
             "slab_rows": config.slab_rows,
+            # measured decode sweeps per store for the six-reduction workload:
+            # sequential op-by-op calls vs one fused engine plan
+            "six_op_decode_passes": six_op_passes,
         },
     )
 

@@ -17,6 +17,7 @@ single-threaded Blaz.
 from __future__ import annotations
 
 import abc
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Iterator
 
@@ -91,14 +92,33 @@ class BlockExecutor(abc.ABC):
     def map_jobs(self, fn, jobs):
         """Run ``fn(*args)`` for every args tuple in ``jobs``; results in job order.
 
-        The generic fan-out hook behind :mod:`repro.streaming.ops`: the
-        out-of-core engine hands one job per store chunk (compute that chunk's
-        fold partial) to whatever executor the caller configured, so per-chunk
-        work schedules exactly like the per-block transform work — serial here,
+        The generic fan-out hook behind :mod:`repro.streaming.ops` and
+        :mod:`repro.engine`: the out-of-core engines hand one job per store
+        chunk to whatever executor the caller configured, so per-chunk work
+        schedules exactly like the per-block transform work — serial here,
         pooled in the thread/process executors (which additionally require the
         jobs to be picklable in the process case).
+
+        Jobs may be **batched multi-partial** work units: the plan engine's
+        job decodes its chunk once and returns the partial states of *every*
+        fused fold that wants the chunk (a list of
+        :class:`repro.core.ops.folds.FoldState`), so one worker decode feeds
+        all fused partials.  ``map_jobs`` is agnostic to the result type; it
+        only promises job-order results.
         """
         return [fn(*args) for args in jobs]
+
+    def imap_jobs(self, fn, jobs, window: int | None = None):
+        """Lazily run ``fn(*args)`` per job, yielding results in job order.
+
+        The streaming sibling of :meth:`map_jobs` for jobs whose results are
+        too large to hold all at once (e.g. transformed store chunks awaiting
+        an ordered append): at most ``window`` jobs are in flight, so memory
+        stays bounded while the pool stays busy.  The base implementation is
+        serial; pooled executors override it with a bounded-window pipeline.
+        """
+        for args in jobs:
+            yield fn(*args)
 
     @abc.abstractmethod
     def transform_and_bin(
@@ -151,6 +171,35 @@ def _kernel_chunk(
     if inverse:
         return kernel.inverse_transform(chunk, transform, settings)
     return kernel.transform_and_bin(chunk, transform, settings)
+
+
+def _imap_ordered(pool_cls, n_workers: int, fn, jobs, window: int | None):
+    """Shared bounded-window ordered pipeline for the pooled ``imap_jobs``.
+
+    Keeps at most ``window`` futures outstanding (default ``2 × n_workers``:
+    enough to hide scheduling latency, small enough to bound result memory)
+    and yields strictly in job order.  A single job degrades to the calling
+    thread, like the pooled ``map_jobs``.
+    """
+    jobs = list(jobs)
+    if len(jobs) <= 1:
+        for args in jobs:
+            yield fn(*args)
+        return
+    window = max(2, window if window is not None else 2 * n_workers)
+    with pool_cls(max_workers=n_workers) as pool:
+        pending: deque = deque()
+        iterator = iter(jobs)
+        for args in iterator:
+            pending.append(pool.submit(fn, *args))
+            if len(pending) >= window:
+                break
+        while pending:
+            result = pending.popleft().result()
+            for args in iterator:  # refill one slot before yielding
+                pending.append(pool.submit(fn, *args))
+                break
+            yield result
 
 
 class _ChunkingExecutor(BlockExecutor):
@@ -261,6 +310,10 @@ class ThreadedExecutor(_ChunkingExecutor):
             futures = [pool.submit(fn, *args) for args in jobs]
             return [future.result() for future in futures]
 
+    def imap_jobs(self, fn, jobs, window: int | None = None):
+        """Bounded-window ordered fan-out over the thread pool (see base docstring)."""
+        return _imap_ordered(ThreadPoolExecutor, self.n_workers, fn, jobs, window)
+
 
 class ProcessExecutor(_ChunkingExecutor):
     """Process-pool execution over chunks of the block grid.
@@ -308,6 +361,10 @@ class ProcessExecutor(_ChunkingExecutor):
         with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
             futures = [pool.submit(fn, *args) for args in jobs]
             return [future.result() for future in futures]
+
+    def imap_jobs(self, fn, jobs, window: int | None = None):
+        """Bounded-window ordered fan-out over worker processes (picklable jobs)."""
+        return _imap_ordered(ProcessPoolExecutor, self.n_workers, fn, jobs, window)
 
 
 class LoopExecutor(_ChunkingExecutor):

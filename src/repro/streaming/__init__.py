@@ -20,14 +20,18 @@ Three layers:
   Format v2 records the codec *name*, so a store can hold slabs of any
   registered :mod:`repro.codecs` backend (:func:`stream_compress` is the
   codec-generic writer); v1 pyblaz stores remain readable.
-* :mod:`repro.streaming.ops` — the out-of-core compressed-domain operation
-  engine: every Table I scalar reduction (``mean``, ``variance``,
+* :mod:`repro.streaming.ops` — the out-of-core compressed-domain operations:
+  every Table I scalar reduction (``mean``, ``variance``,
   ``standard_deviation``, ``covariance``, ``dot``, ``l2_norm``,
-  ``euclidean_distance``, ``cosine_similarity``) folded chunk-by-chunk via the
-  partial-fold forms of :mod:`repro.core.ops.folds`, plus structural
-  ``add``/``subtract``/``scale``/``negate`` that write new stores one chunk at
-  a time.  Results match the in-memory :mod:`repro.core.ops` on the assembled
-  array bit for bit (see ``docs/ops.md``).  The historical
+  ``euclidean_distance``, ``cosine_similarity``), each a thin one-op plan over
+  the lazy engine (:mod:`repro.engine`) folding the declarative
+  :data:`repro.core.ops.folds.FOLD_SPECS` partials chunk-by-chunk, plus
+  structural ``add``/``subtract``/``scale``/``negate`` that write new stores
+  one chunk at a time (optionally fanned across an executor with deterministic
+  append order).  Results match the in-memory :mod:`repro.core.ops` on the
+  assembled array bit for bit (see ``docs/ops.md``); to evaluate *several*
+  reductions in fused sweeps, use :func:`repro.engine.plan` directly
+  (``docs/engine.md``).  The historical
   ``stream_mean``/``stream_l2_norm``/``stream_dot`` names remain as
   deprecation shims.
 """

@@ -7,16 +7,20 @@ This module closes the gap between the in-memory operation set of
 the linear structural operations run here **chunk at a time**, so a store of
 any size is reduced — or rewritten — in chunk-sized memory.
 
-Scalar reductions (:func:`mean`, :func:`variance`, :func:`standard_deviation`,
-:func:`covariance`, :func:`dot`, :func:`l2_norm`, :func:`euclidean_distance`,
-:func:`cosine_similarity`) evaluate the partial-fold forms from
-:mod:`repro.core.ops.folds`: each chunk contributes a per-block partial state,
-states merge associatively, and one finalize produces the scalar.  Because the
-folds are chunking-invariant to the last bit, a store-level reduction equals
-its in-memory counterpart on the assembled array **bit for bit** whenever the
-chunks assemble bit-identically (stores written under the ``reference`` kernel
-backend); under the fast backends the two agree within the backend's documented
-``accumulation_tolerance`` (see ``docs/ops.md``).
+Since the lazy engine landed, every scalar reduction here (:func:`mean`,
+:func:`variance`, :func:`standard_deviation`, :func:`covariance`, :func:`dot`,
+:func:`l2_norm`, :func:`euclidean_distance`, :func:`cosine_similarity`) is a
+**thin one-op plan** over :mod:`repro.engine`: the function builds the matching
+expression node and executes it.  The bit-identity contract is unchanged —
+because the engine folds the same declarative
+:data:`repro.core.ops.folds.FOLD_SPECS` partials in the same chunk order with
+the same exact (``fsum``) combine, a store-level reduction equals its in-memory
+counterpart on the assembled array **bit for bit** whenever the chunks assemble
+bit-identically (stores written under the ``reference`` kernel backend); under
+the fast backends the two agree within the backend's documented
+``accumulation_tolerance`` (see ``docs/ops.md``).  Callers that want several
+reductions should hand them to :func:`repro.engine.plan` directly and pay one
+fused sweep instead of one sweep per call (``docs/engine.md``).
 
 Structural operations (:func:`add`, :func:`subtract`, :func:`scale`,
 :func:`negate`) map :mod:`repro.core.ops` over the chunks and append each
@@ -24,14 +28,18 @@ result to a new store immediately — lazy, bounded memory, and bit-identical to
 running the in-memory operation on the assembled array *and serializing the
 result* (rebinning is per-block; persisting rounds the per-block maxima to the
 working float format, exactly as ``serialize`` does for the in-memory result).
+With an ``executor`` and store sources, per-chunk transforms fan out through
+the bounded-window ordered :meth:`BlockExecutor.imap_jobs
+<repro.parallel.BlockExecutor.imap_jobs>`, so workers decode and transform
+concurrently while the writer appends in deterministic chunk order.
 
 Memory contract: the serial path holds at most **one chunk (pair) of
 coefficients** at a time; partial states are one float64 per block per tracked
 quantity.  With an ``executor`` (any :class:`repro.parallel.BlockExecutor`),
-per-chunk partials fan out through :meth:`BlockExecutor.map_jobs
-<repro.parallel.BlockExecutor.map_jobs>` — up to ``n_workers`` chunks decode
-concurrently (each worker reopens the store, so process pools work too), and
-the combine order is fixed by chunk order, keeping results deterministic.
+per-chunk work fans out through the executor's job hooks — up to ``n_workers``
+chunks decode concurrently (each worker reopens the store, so process pools
+work too), and combine/append order is fixed by chunk order, keeping results
+deterministic.
 
 Sources may be a :class:`CompressedStore` (of a pyblaz-family codec) or any
 iterable of chunk :class:`CompressedArray` objects.  Two-pass reductions
@@ -42,12 +50,11 @@ able to re-iterate their source, so they reject single-shot generators.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Iterator
 
+from .. import engine
 from ..core import ops as core_ops
-from ..core.compressed import CompressedArray
-from ..core.exceptions import CodecError
-from ..core.ops import folds
+from ..engine import expr
+from .sources import aligned_chunks, check_stores, require_pyblaz
 from .store import CompressedStore, CompressedStoreWriter
 
 __all__ = [
@@ -65,139 +72,6 @@ __all__ = [
     "negate",
 ]
 
-#: Fold partials addressable by name, so executor jobs stay picklable.
-_PARTIALS = {
-    "product": folds.product_partial,
-    "square": folds.square_partial,
-    "diff_square": folds.difference_square_partial,
-    "dc": folds.dc_partial,
-    "similarity": folds.similarity_partial,
-    "centered_product": folds.centered_product_partial,
-    "centered_square": folds.centered_square_partial,
-}
-
-
-# ---------------------------------------------------------------------- sources
-def _require_pyblaz(store: CompressedStore) -> None:
-    """Reject stores whose chunks are not pyblaz-family compressed arrays."""
-    if store.settings is None:
-        raise CodecError(
-            f"compressed-domain ops fold pyblaz chunks via core.ops; this "
-            f"store holds {store.codec_name!r} streams"
-        )
-
-
-def _chunks(source) -> Iterator[CompressedArray]:
-    """Iterate a source's chunks: a store's records or an iterable's items."""
-    if isinstance(source, CompressedStore):
-        _require_pyblaz(source)
-        return source.iter_chunks()
-    return iter(source)
-
-
-def _chunk_tuples(sources: tuple) -> Iterator[tuple]:
-    """Yield aligned chunk tuples across sources, enforcing identical chunking."""
-    iterators = [_chunks(source) for source in sources]
-    sentinel = object()
-    while True:
-        chunks = tuple(next(iterator, sentinel) for iterator in iterators)
-        if all(chunk is sentinel for chunk in chunks):
-            return
-        if any(chunk is sentinel for chunk in chunks):
-            raise ValueError(
-                "binary compressed-domain ops require identically chunked "
-                "sources (one ran out of chunks early)"
-            )
-        shapes = {tuple(chunk.shape) for chunk in chunks}
-        if len(shapes) > 1:
-            raise ValueError(
-                f"chunk shapes differ ({' vs '.join(map(str, shapes))}); "
-                "recompress with matching slab_rows"
-            )
-        yield chunks
-        chunks = None  # release the previous chunk pair before decoding the next
-
-
-def _check_stores(sources: tuple) -> None:
-    """Cheap upfront geometry checks when every source is an open store."""
-    stores = [source for source in sources if isinstance(source, CompressedStore)]
-    if len(stores) < 2:
-        return
-    first = stores[0]
-    for other in stores[1:]:
-        if other.shape != first.shape:
-            raise ValueError(
-                f"stores have different shapes ({first.shape} vs {other.shape})"
-            )
-        if other.chunk_rows != first.chunk_rows:
-            raise ValueError(
-                f"stores are chunked differently (chunk rows {first.chunk_rows} "
-                f"vs {other.chunk_rows}); recompress with matching slab_rows"
-            )
-
-
-def _require_reiterable(sources: tuple, operation: str) -> None:
-    """Reject single-shot generators for operations that fold twice."""
-    for source in sources:
-        if not isinstance(source, CompressedStore) and iter(source) is source:
-            raise ValueError(
-                f"{operation} folds over its source twice (mean pass + centered "
-                "pass); pass a CompressedStore or a re-iterable sequence of "
-                "chunks, not a single-shot generator"
-            )
-
-
-# ---------------------------------------------------------------------- engine
-def _store_partial_job(partial_name: str, paths: tuple, index: int, extra: tuple):
-    """Picklable per-chunk work unit for the executor fan-out.
-
-    Reopens each store by path (workers may live in other processes), decodes
-    only chunk ``index``, and returns its fold partial — a per-block state,
-    orders of magnitude smaller than the chunk itself.
-    """
-    chunks = []
-    for path in paths:
-        with CompressedStore(path) as store:
-            chunks.append(store.read_chunk(index))
-    return _PARTIALS[partial_name](*chunks, *extra)
-
-
-def _run_fold(partial_name: str, sources: tuple, executor, extra: tuple = ()):
-    """Fold one partial over the sources' chunks; return the combined state.
-
-    Serial (``executor=None``): chunks stream through one (pair) at a time, so
-    peak memory is a single chunk's coefficients.  With an executor and
-    store-only sources, one job per chunk fans out via ``map_jobs`` and the
-    partial states combine in chunk order (deterministic, and bit-identical to
-    the serial path because :func:`repro.core.ops.folds.combine` is exact).
-    """
-    _check_stores(sources)
-    partial = _PARTIALS[partial_name]
-    if executor is not None and all(
-        isinstance(source, CompressedStore) for source in sources
-    ):
-        for source in sources:
-            _require_pyblaz(source)
-        paths = tuple(str(source.path) for source in sources)
-        jobs = [
-            (partial_name, paths, index, extra)
-            for index in range(sources[0].n_chunks)
-        ]
-        state = folds.combine_all(executor.map_jobs(_store_partial_job, jobs))
-    else:
-
-        def pieces():
-            """Yield per-chunk partial states, releasing each chunk promptly."""
-            for chunks in _chunk_tuples(sources):
-                piece = partial(*chunks, *extra)
-                chunks = None  # drop the coefficients before the next decode
-                yield piece
-
-        state = folds.combine_all(pieces())
-    if state is None:
-        raise ValueError("cannot reduce an empty chunk stream")
-    return state
-
 
 # ---------------------------------------------------------------------- scalar ops
 def mean(source, *, padded: bool = True, executor=None) -> float:
@@ -207,7 +81,7 @@ def mean(source, *, padded: bool = True, executor=None) -> float:
     (chunking-invariant fold; no error beyond compression).  ``padded`` selects
     the zero-padded (paper) or original-element-count domain.
     """
-    return folds.finalize_mean(_run_fold("dc", (source,), executor), padded=padded)
+    return engine.evaluate(expr.mean(source, padded=padded), executor=executor)
 
 
 def l2_norm(source, *, executor=None) -> float:
@@ -216,7 +90,7 @@ def l2_norm(source, *, executor=None) -> float:
     Matches :func:`repro.core.ops.l2_norm` of the assembled array bit for bit;
     one square root at the end, so no per-chunk rounding is reintroduced.
     """
-    return folds.finalize_l2_norm(_run_fold("square", (source,), executor))
+    return engine.evaluate(expr.l2_norm(source), executor=executor)
 
 
 def dot(a, b, *, executor=None) -> float:
@@ -226,7 +100,7 @@ def dot(a, b, *, executor=None) -> float:
     The sources must agree chunk-by-chunk in shape and settings; two stores
     written with the same ``slab_rows`` satisfy this.
     """
-    return folds.finalize_dot(_run_fold("product", (a, b), executor))
+    return engine.evaluate(expr.dot(a, b), executor=executor)
 
 
 def euclidean_distance(a, b, *, executor=None) -> float:
@@ -236,9 +110,7 @@ def euclidean_distance(a, b, *, executor=None) -> float:
     bit for bit — the difference is taken in coefficient space per chunk, so no
     rebinning error and no intermediate store.
     """
-    return folds.finalize_euclidean_distance(
-        _run_fold("diff_square", (a, b), executor)
-    )
+    return engine.evaluate(expr.euclidean_distance(a, b), executor=executor)
 
 
 def cosine_similarity(a, b, *, executor=None) -> float:
@@ -247,9 +119,7 @@ def cosine_similarity(a, b, *, executor=None) -> float:
     Matches :func:`repro.core.ops.cosine_similarity` of the assembled arrays
     bit for bit; raises ``ZeroDivisionError`` for zero-norm operands.
     """
-    return folds.finalize_cosine_similarity(
-        _run_fold("similarity", (a, b), executor)
-    )
+    return engine.evaluate(expr.cosine_similarity(a, b), executor=executor)
 
 
 def variance(source, *, executor=None) -> float:
@@ -260,16 +130,12 @@ def variance(source, *, executor=None) -> float:
     in-memory, so the results match bit for bit.  The source must be
     re-iterable (a store, or a sequence of chunks).
     """
-    _require_reiterable((source,), "variance")
-    mean_dc = folds.dc_grand_mean(_run_fold("dc", (source,), executor))
-    return folds.finalize_variance(
-        _run_fold("centered_square", (source,), executor, extra=(mean_dc,))
-    )
+    return engine.evaluate(expr.variance(source), executor=executor)
 
 
 def standard_deviation(source, *, executor=None) -> float:
     """Store-level standard deviation: the square root of :func:`variance`."""
-    return float(math.sqrt(variance(source, executor=executor)))
+    return engine.evaluate(expr.standard_deviation(source), executor=executor)
 
 
 def covariance(a, b, *, executor=None) -> float:
@@ -279,70 +145,110 @@ def covariance(a, b, *, executor=None) -> float:
     products — matching :func:`repro.core.ops.covariance` of the assembled
     arrays bit for bit.  Sources must be identically chunked and re-iterable.
     """
-    _require_reiterable((a, b), "covariance")
-    _check_stores((a, b))
-    mean_a = folds.dc_grand_mean(_run_fold("dc", (a,), executor))
-    mean_b = folds.dc_grand_mean(_run_fold("dc", (b,), executor))
-    return folds.finalize_covariance(
-        _run_fold("centered_product", (a, b), executor, extra=(mean_a, mean_b))
-    )
+    return engine.evaluate(expr.covariance(a, b), executor=executor)
 
 
 # ---------------------------------------------------------------------- structural ops
-def _map_to_store(operation, sources: tuple, path) -> CompressedStore:
+#: Chunk transforms addressable by name, so executor jobs stay picklable.
+_STRUCTURAL_OPS = {
+    "add": core_ops.add,
+    "subtract": core_ops.subtract,
+    "scale": core_ops.multiply_scalar,
+    "negate": core_ops.negate,
+}
+
+
+def _structural_chunk_job(operation: str, paths: tuple, index: int, extra: tuple):
+    """Picklable per-chunk work unit for the structural fan-out.
+
+    Reopens each store by path (workers may live in other processes), decodes
+    only chunk ``index`` of each, and returns the transformed result chunk.
+    """
+    chunks = []
+    for path in paths:
+        with CompressedStore(path) as store:
+            chunks.append(store.read_chunk(index))
+    return _STRUCTURAL_OPS[operation](*chunks, *extra)
+
+
+def _map_to_store(operation: str, sources: tuple, path, executor=None,
+                  extra: tuple = ()) -> CompressedStore:
     """Apply an in-memory chunk operation chunk-by-chunk into a new store.
 
     The result store mirrors the source chunking; only one input chunk (pair)
-    and its result chunk are alive at a time.  Writing serializes each result
-    chunk, which rounds its per-block maxima to the working float format — so
-    the output store equals ``deserialize(serialize(op(assembled)))`` bit for
-    bit (indices are bit-identical outright; maxima after that one rounding,
-    the same rounding any persisted in-memory result undergoes).  Returns the
-    store reopened for reading.
+    and its result chunk are alive at a time (with an ``executor``, at most
+    the bounded ``imap_jobs`` window of results).  Writing serializes each
+    result chunk, which rounds its per-block maxima to the working float
+    format — so the output store equals ``deserialize(serialize(op(assembled)))``
+    bit for bit (indices are bit-identical outright; maxima after that one
+    rounding, the same rounding any persisted in-memory result undergoes).
+    Returns the store reopened for reading.
+
+    With an ``executor`` and store-only sources, per-chunk transforms fan out
+    through the executor's ordered bounded-window ``imap_jobs`` — workers
+    decode and transform concurrently, and the writer appends strictly in
+    chunk order, so the output is bit-identical to the serial path.
     """
-    iterator = _chunk_tuples(sources)
+    transform = _STRUCTURAL_OPS[operation]
+    if executor is not None and sources and all(
+        isinstance(source, CompressedStore) for source in sources
+    ):
+        for source in sources:
+            require_pyblaz(source)
+        check_stores(sources)
+        paths = tuple(str(source.path) for source in sources)
+        jobs = [(operation, paths, index, extra)
+                for index in range(sources[0].n_chunks)]
+        results = executor.imap_jobs(_structural_chunk_job, jobs)
+        first = next(iter(results))
+        with CompressedStoreWriter(path, first.settings) as writer:
+            writer.append(first)
+            first = None
+            for chunk in results:
+                writer.append(chunk)
+        return CompressedStore(path)
+
+    iterator = aligned_chunks(sources)
     try:
         first = next(iterator)
     except StopIteration:
         raise ValueError("cannot operate on an empty chunk stream") from None
-    result = operation(*first)
+    result = transform(*first, *extra)
     first = None
     with CompressedStoreWriter(path, result.settings) as writer:
         writer.append(result)
         result = None
         for chunks in iterator:
-            writer.append(operation(*chunks))
+            writer.append(transform(*chunks, *extra))
             chunks = None
     return CompressedStore(path)
 
 
-def negate(source, path) -> CompressedStore:
+def negate(source, path, *, executor=None) -> CompressedStore:
     """Write the negated array to ``path`` chunk-by-chunk (Algorithm 1; exact).
 
     Bit-identical to :func:`repro.core.ops.negate` of the assembled array —
     negation touches only indices, so no rebinning occurs.
     """
-    return _map_to_store(core_ops.negate, (source,), path)
+    return _map_to_store("negate", (source,), path, executor)
 
 
-def scale(source, factor: float, path) -> CompressedStore:
+def scale(source, factor: float, path, *, executor=None) -> CompressedStore:
     """Write ``factor · source`` to ``path`` chunk-by-chunk (Algorithm 5; exact).
 
     Scaling touches only the per-block maxima (and index signs); the result
     equals the serialized in-memory :func:`repro.core.ops.multiply_scalar` of
     the assembled array bit for bit (persisting rounds the scaled maxima to
-    the working float format).
+    the working float format).  Raises ``ValueError`` for non-finite factors
+    before any chunk is written.
     """
     factor = float(factor)
-
-    def _scale_chunk(chunk: CompressedArray) -> CompressedArray:
-        """Scale one chunk (closure pinning the factor)."""
-        return core_ops.multiply_scalar(chunk, factor)
-
-    return _map_to_store(_scale_chunk, (source,), path)
+    if not math.isfinite(factor):
+        raise ValueError("scalar must be finite")
+    return _map_to_store("scale", (source,), path, executor, extra=(factor,))
 
 
-def add(a, b, path) -> CompressedStore:
+def add(a, b, path, *, executor=None) -> CompressedStore:
     """Write the element-wise sum to ``path`` chunk-by-chunk (Algorithm 2).
 
     Error contract: rebinning only (half a bin width of the new per-block
@@ -350,13 +256,13 @@ def add(a, b, path) -> CompressedStore:
     equals the serialized in-memory :func:`repro.core.ops.add` of the
     assembled arrays bit for bit.
     """
-    return _map_to_store(core_ops.add, (a, b), path)
+    return _map_to_store("add", (a, b), path, executor)
 
 
-def subtract(a, b, path) -> CompressedStore:
+def subtract(a, b, path, *, executor=None) -> CompressedStore:
     """Write the element-wise difference ``a − b`` to ``path`` chunk-by-chunk.
 
     Same rebinning-only contract (and serialized bit-identity to
     :func:`repro.core.ops.subtract`) as :func:`add`.
     """
-    return _map_to_store(core_ops.subtract, (a, b), path)
+    return _map_to_store("subtract", (a, b), path, executor)

@@ -1,0 +1,78 @@
+"""Shared chunk-source plumbing for the out-of-core operation layers.
+
+Both :mod:`repro.streaming.ops` (one-op sweeps, structural store writers) and
+the lazy plan engine (:mod:`repro.engine.plan`) consume the same two source
+kinds — an open :class:`CompressedStore` of a pyblaz-family codec, or any
+iterable of chunk :class:`repro.core.CompressedArray` objects — and need the
+same guarantees about them: pyblaz-ness, aligned chunking across sources, and
+matching store geometry.  Those checks live here, in the streaming layer, so
+the engine depends downward on streaming (never the reverse).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..core.compressed import CompressedArray
+from ..core.exceptions import CodecError
+from .store import CompressedStore
+
+__all__ = ["require_pyblaz", "source_chunks", "aligned_chunks", "check_stores"]
+
+
+def require_pyblaz(store: CompressedStore) -> None:
+    """Reject stores whose chunks are not pyblaz-family compressed arrays."""
+    if store.settings is None:
+        raise CodecError(
+            f"compressed-domain ops fold pyblaz chunks via core.ops; this "
+            f"store holds {store.codec_name!r} streams"
+        )
+
+
+def source_chunks(source) -> Iterator[CompressedArray]:
+    """Iterate a source's chunks: a store's records or an iterable's items."""
+    if isinstance(source, CompressedStore):
+        require_pyblaz(source)
+        return source.iter_chunks()
+    return iter(source)
+
+
+def aligned_chunks(sources: tuple) -> Iterator[tuple]:
+    """Yield aligned chunk tuples across sources, enforcing identical chunking."""
+    iterators = [source_chunks(source) for source in sources]
+    sentinel = object()
+    while True:
+        chunks = tuple(next(iterator, sentinel) for iterator in iterators)
+        if all(chunk is sentinel for chunk in chunks):
+            return
+        if any(chunk is sentinel for chunk in chunks):
+            raise ValueError(
+                "binary compressed-domain ops require identically chunked "
+                "sources (one ran out of chunks early)"
+            )
+        shapes = {tuple(chunk.shape) for chunk in chunks}
+        if len(shapes) > 1:
+            raise ValueError(
+                f"chunk shapes differ ({' vs '.join(map(str, shapes))}); "
+                "recompress with matching slab_rows"
+            )
+        yield chunks
+        chunks = None  # release the previous chunk tuple before decoding the next
+
+
+def check_stores(sources: Sequence) -> None:
+    """Cheap upfront geometry checks across every open-store source."""
+    stores = [source for source in sources if isinstance(source, CompressedStore)]
+    if len(stores) < 2:
+        return
+    first = stores[0]
+    for other in stores[1:]:
+        if other.shape != first.shape:
+            raise ValueError(
+                f"stores have different shapes ({first.shape} vs {other.shape})"
+            )
+        if other.chunk_rows != first.chunk_rows:
+            raise ValueError(
+                f"stores are chunked differently (chunk rows {first.chunk_rows} "
+                f"vs {other.chunk_rows}); recompress with matching slab_rows"
+            )

@@ -223,3 +223,136 @@ class TestStreamOpsCommand:
         assert main(["stream-ops", "dot", str(store_a), str(store_b),
                      "--workers", "2"]) == 0
         assert capsys.readouterr().out == serial
+
+
+class TestStreamOpsEvaluateAndJson:
+    @pytest.fixture
+    def store_pair(self, tmp_path):
+        """Two identically chunked stores (plus their arrays) for fused ops."""
+        a = smooth_field((40, 24), seed=3)
+        b = smooth_field((40, 24), seed=5)
+        paths = {}
+        for name, array in (("a", a), ("b", b)):
+            npy = tmp_path / f"{name}.npy"
+            np.save(npy, array)
+            store = tmp_path / f"{name}.pblzc"
+            assert main(["stream-compress", str(npy), str(store), "--block", "4,4",
+                         "--slab-rows", "8"]) == 0
+            paths[name] = store
+        return paths["a"], paths["b"], a, b
+
+    def test_evaluate_fuses_and_matches_in_memory(self, store_pair, capsys):
+        from repro.core import CompressionSettings, Compressor, ops
+
+        store_a, store_b, a, b = store_pair
+        capsys.readouterr()
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
+                                       index_dtype="int16")
+        compressor = Compressor(settings)
+        ca, cb = compressor.compress(a), compressor.compress(b)
+        assert main(["stream-ops", "evaluate", str(store_a), str(store_b),
+                     "--op", "mean", "--op", "variance", "--op", "l2-norm",
+                     "--op", "dot", "--op", "covariance",
+                     "--op", "cosine-similarity"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == [
+            f"mean = {ops.mean(ca)!r}",
+            f"variance = {ops.variance(ca)!r}",
+            f"l2-norm = {ops.l2_norm(ca)!r}",
+            f"dot = {ops.dot(ca, cb)!r}",
+            f"covariance = {ops.covariance(ca, cb)!r}",
+            f"cosine-similarity = {ops.cosine_similarity(ca, cb)!r}",
+        ]
+
+    def test_evaluate_json_reports_passes_and_timing(self, store_pair, capsys):
+        import json
+
+        store_a, store_b, *_ = store_pair
+        capsys.readouterr()
+        assert main(["stream-ops", "evaluate", str(store_a), str(store_b),
+                     "--op", "mean", "--op", "dot", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["operations"]) == {"mean", "dot"}
+        assert payload["passes"] == 1          # no two-pass op requested
+        assert payload["seconds"] >= 0.0
+        assert payload["stores"] == [str(store_a), str(store_b)]
+
+    def test_two_pass_subset_reports_two_passes(self, store_pair, capsys):
+        import json
+
+        store_a, *_ = store_pair
+        capsys.readouterr()
+        assert main(["stream-ops", "evaluate", str(store_a),
+                     "--op", "mean", "--op", "variance", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["passes"] == 2
+
+    def test_single_op_json_mode(self, store_pair, capsys):
+        import json
+
+        from repro.core import CompressionSettings, Compressor, ops
+
+        store_a, _, a, _ = store_pair
+        capsys.readouterr()
+        assert main(["stream-ops", "l2-norm", str(store_a), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
+                                       index_dtype="int16")
+        expected = ops.l2_norm(Compressor(settings).compress(a))
+        assert payload["operations"]["l2-norm"] == expected
+
+    def test_array_op_json_mode(self, store_pair, tmp_path, capsys):
+        import json
+
+        store_a, store_b, *_ = store_pair
+        out = tmp_path / "sum.pblzc"
+        capsys.readouterr()
+        assert main(["stream-ops", "add", str(store_a), str(store_b),
+                     "--out", str(out), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["operation"] == "add"
+        assert payload["out"] == str(out)
+        assert payload["shape"] == [40, 24]
+        assert payload["chunks"] == 5
+
+    def test_unknown_operation_lists_valid_set(self, store_pair, capsys):
+        store_a, *_ = store_pair
+        assert main(["stream-ops", "frobnicate", str(store_a)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown operation 'frobnicate'" in err
+        for name in ("mean", "variance", "dot", "evaluate", "add"):
+            assert name in err
+
+    def test_unknown_op_flag_lists_scalar_set(self, store_pair, capsys):
+        store_a, *_ = store_pair
+        assert main(["stream-ops", "evaluate", str(store_a), "--op", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown operation 'nope'" in err
+        assert "cosine-similarity" in err and "add" not in err
+
+    def test_evaluate_usage_errors(self, store_pair, capsys):
+        store_a, store_b, *_ = store_pair
+        assert main(["stream-ops", "evaluate", str(store_a)]) == 2
+        assert "--op" in capsys.readouterr().err
+        assert main(["stream-ops", "evaluate", str(store_a), "--op", "dot"]) == 2
+        assert "two stores" in capsys.readouterr().err
+        assert main(["stream-ops", "evaluate", str(store_a), str(store_b),
+                     "--op", "mean"]) == 2
+        assert "single store" in capsys.readouterr().err
+        assert main(["stream-ops", "mean", str(store_a), "--op", "dot"]) == 2
+        assert "evaluate" in capsys.readouterr().err
+
+    def test_structural_workers_match_serial(self, store_pair, tmp_path, capsys):
+        from repro.streaming import CompressedStore
+
+        store_a, store_b, *_ = store_pair
+        serial_out = tmp_path / "serial.pblzc"
+        pooled_out = tmp_path / "pooled.pblzc"
+        assert main(["stream-ops", "subtract", str(store_a), str(store_b),
+                     "--out", str(serial_out)]) == 0
+        assert main(["stream-ops", "subtract", str(store_a), str(store_b),
+                     "--out", str(pooled_out), "--workers", "2"]) == 0
+        with CompressedStore(serial_out) as left:
+            with CompressedStore(pooled_out) as right:
+                one, two = left.load_compressed(), right.load_compressed()
+        assert np.array_equal(one.indices, two.indices)
+        assert np.array_equal(one.maxima, two.maxima)

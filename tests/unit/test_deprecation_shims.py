@@ -1,0 +1,90 @@
+"""Explicit coverage for the deprecated streaming-reduction shims.
+
+``stream_mean`` / ``stream_l2_norm`` / ``stream_dot`` survive only as
+deprecation shims over :mod:`repro.streaming.ops`.  This suite pins the shim
+contract on its own: each emits a ``DeprecationWarning`` naming its
+replacement, and each returns a value **equal (bitwise)** to the new API —
+including keyword passthrough (``padded``) and non-store chunk-sequence
+sources.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionSettings
+from repro.streaming import (
+    ChunkedCompressor,
+    stream_dot,
+    stream_l2_norm,
+    stream_mean,
+)
+from repro.streaming import ops as stream_ops
+from tests.conftest import smooth_field
+
+
+@pytest.fixture
+def stores(tmp_path):
+    settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
+                                   index_dtype="int16")
+    chunked = ChunkedCompressor(settings, slab_rows=8)
+    a = smooth_field((40, 24), seed=3)
+    b = smooth_field((40, 24), seed=5)
+    with chunked.compress_to_store(a, tmp_path / "a.pblzc") as store_a:
+        with chunked.compress_to_store(b, tmp_path / "b.pblzc") as store_b:
+            yield store_a, store_b
+
+
+@pytest.mark.parametrize("shim, replacement, arity", [
+    (stream_mean, "ops.mean", 1),
+    (stream_l2_norm, "ops.l2_norm", 1),
+    (stream_dot, "ops.dot", 2),
+])
+def test_shims_warn_deprecation_naming_the_replacement(stores, shim, replacement,
+                                                       arity):
+    operands = stores[:arity]
+    with pytest.warns(DeprecationWarning, match=replacement):
+        shim(*operands)
+
+
+def test_shim_values_equal_the_new_api_bitwise(stores):
+    store_a, store_b = stores
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        assert stream_mean(store_a) == stream_ops.mean(store_a)
+        assert stream_mean(store_a, padded=False) == (
+            stream_ops.mean(store_a, padded=False)
+        )
+        assert stream_l2_norm(store_a) == stream_ops.l2_norm(store_a)
+        assert stream_dot(store_a, store_b) == stream_ops.dot(store_a, store_b)
+
+
+def test_shims_accept_chunk_sequences_like_the_new_api(stores):
+    store_a, store_b = stores
+    chunks_a = list(store_a.iter_chunks())
+    chunks_b = list(store_b.iter_chunks())
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        assert stream_l2_norm(chunks_a) == stream_ops.l2_norm(store_a)
+        assert stream_dot(chunks_a, chunks_b) == stream_ops.dot(store_a, store_b)
+
+
+def test_warning_points_at_the_caller_not_the_shim(stores):
+    """stacklevel is set so the warning is attributed to user code (this file)."""
+    store_a, _ = stores
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        stream_mean(store_a)
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert deprecations and deprecations[0].filename == __file__
+
+
+def test_values_are_floats_not_arrays(stores):
+    store_a, store_b = stores
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        assert isinstance(stream_mean(store_a), float)
+        assert isinstance(stream_l2_norm(store_a), float)
+        assert isinstance(stream_dot(store_a, store_b), float)
+        assert np.isfinite(stream_dot(store_a, store_b))
