@@ -23,6 +23,10 @@ The package is organised as:
   expressions (``engine.expr``) and fuse any number of them into shared decode
   sweeps (one decode per chunk per pass, bit-identical to the sequential
   calls) — see ``docs/engine.md``.
+* :mod:`repro.serving` — the asyncio query service over a named catalog of
+  stores: wire-form requests (``engine.wire``), per-tick request coalescing
+  into one fused plan, a byte-budgeted decoded-chunk cache and a stats
+  endpoint — see ``docs/serving.md``.
 * :mod:`repro.experiments` — one module per paper table/figure.
 
 Quickstart::

@@ -18,6 +18,14 @@ Subcommands
                       into one planned sweep set (``docs/engine.md``); ``--json``
                       emits a machine-readable result with timing and the fused
                       pass count.
+``serve``             Run the asyncio query service over a named catalog of
+                      chunked stores: clients submit wire-form reduction
+                      requests, and all requests arriving within one scheduler
+                      tick are compiled into a single fused plan
+                      (``docs/serving.md``).
+``query``             Send reduction requests (or stats/catalog probes) to a
+                      running ``serve`` instance — ``--op mean:a --op dot:a,b``
+                      names reductions over the server's catalog names.
 ``codecs``            List every registered codec with its capabilities and its
                       compression ratio on a standard 256×256 float64 probe.
 ``backends``          List every registered kernel backend (the execution
@@ -48,6 +56,9 @@ Examples
     repro stream-ops evaluate a.pblzc b.pblzc --op mean --op variance --op dot --json
     repro stream-ops add a.pblzc b.pblzc --out sum.pblzc --workers 4
     repro stream-ops scale a.pblzc --scalar 2.5 --out scaled.pblzc
+    repro serve temps=temps.pblzc wind=wind.pblzc --port 7777
+    repro query --port 7777 --op mean:temps --op covariance:temps,wind --json
+    repro query --port 7777 --stats
     repro codecs
     repro backends
     repro info output.pblz
@@ -223,6 +234,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_ops.add_argument("--json", action="store_true",
                        help="emit one machine-readable JSON object (values, "
                             "timing, fused pass count) instead of text lines")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve fused-plan reductions over a named catalog of chunked stores",
+    )
+    p_serve.add_argument("stores", nargs="+", metavar="NAME=PATH",
+                         help="catalog entries mapping client-visible names to "
+                              "chunked store files")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (default: 0 = ephemeral; the bound "
+                              "port is printed on startup)")
+    p_serve.add_argument("--tick", type=float, default=None,
+                         help="coalescing window in seconds: requests arriving "
+                              "within one tick share a single fused plan "
+                              "(default: 0.002)")
+    p_serve.add_argument("--no-coalesce", action="store_true",
+                         help="execute one plan per request instead of fusing "
+                              "each tick's batch (the benchmark baseline)")
+    p_serve.add_argument("--cache-bytes", type=int, default=None,
+                         help="decoded-chunk LRU cache budget in bytes "
+                              "(default: 256 MiB; 0 disables the cache)")
+
+    p_query = sub.add_parser(
+        "query",
+        help="send reduction requests to a running `repro serve` instance",
+    )
+    p_query.add_argument("--host", default="127.0.0.1",
+                         help="server host (default: 127.0.0.1)")
+    p_query.add_argument("--port", type=int, required=True, help="server port")
+    p_query.add_argument("--op", dest="ops", action="append", default=None,
+                         metavar="OPERATION:STORES",
+                         help="reduction over catalog names, e.g. mean:temps or "
+                              "dot:temps,wind (repeatable; all ops ride one "
+                              "request)")
+    p_query.add_argument("--true-mean", action="store_true",
+                         help="rescale `mean` to the original element count "
+                              "instead of the zero-padded block domain")
+    p_query.add_argument("--stats", action="store_true",
+                         help="print the server's metrics snapshot and exit")
+    p_query.add_argument("--catalog", action="store_true",
+                         help="print the server's catalog listing and exit")
+    p_query.add_argument("--json", action="store_true",
+                         help="emit the full machine-readable response (values, "
+                              "batch coalescing info, server latency)")
+    p_query.add_argument("--timeout", type=float, default=30.0,
+                         help="socket timeout in seconds (default: 30)")
 
     p_codecs = sub.add_parser("codecs", help="list registered codecs and their capabilities")
     p_codecs.add_argument("--no-probe", action="store_true",
@@ -550,6 +609,129 @@ def _cmd_stream_ops(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the query service until interrupted (Ctrl-C stops it cleanly)."""
+    import asyncio
+
+    from .serving import ChunkCache, QueryService, StoreCatalog
+
+    mapping: dict[str, str] = {}
+    for entry in args.stores:
+        name, sep, path = entry.partition("=")
+        if not sep or not name or not path:
+            print(f"error: catalog entries look like NAME=PATH, got {entry!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            if not _is_store(path):
+                print(f"error: {path!r} is not a chunked store", file=sys.stderr)
+                return 2
+        except OSError as exc:
+            print(f"error: cannot read store {path!r}: {exc}", file=sys.stderr)
+            return 2
+        mapping[name] = path
+    if args.cache_bytes == 0:
+        cache = None
+    elif args.cache_bytes is None:
+        cache = ChunkCache()
+    else:
+        cache = ChunkCache(args.cache_bytes)
+    tick = args.tick if args.tick is not None else 0.002
+    with StoreCatalog(mapping, cache=cache) as catalog:
+        service = QueryService(catalog, tick=tick,
+                               coalesce=not args.no_coalesce)
+
+        async def run() -> None:
+            host, port = await service.start(args.host, args.port)
+            print(f"serving {len(catalog)} store(s) on {host}:{port} "
+                  f"(tick {service.tick * 1000:g} ms, coalescing "
+                  f"{'on' if service.coalesce else 'off'})", flush=True)
+            await service.serve_forever()
+
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            print("stopped")
+    return 0
+
+
+def _parse_op_spec(text: str):
+    """Parse ``operation:storeA[,storeB]`` into ``(op, [names])`` or a message."""
+    op, sep, stores = text.partition(":")
+    names = [name.strip() for name in stores.split(",") if name.strip()]
+    if not sep or not names:
+        return None, (f"ops look like OPERATION:STORES, e.g. mean:temps or "
+                      f"dot:temps,wind — got {text!r}")
+    if op not in _SCALAR_OPS:
+        return None, (f"unknown operation {op!r}; valid operations: "
+                      f"{', '.join(sorted(_SCALAR_OPS))}")
+    arity = 2 if op in _SCALAR_BINARY else 1
+    if len(names) != arity:
+        return None, f"{op} takes {arity} store name(s), got {len(names)}"
+    return (op, names), None
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """One client round trip: evaluate ``--op`` reductions, or probe the server."""
+    import json
+
+    from .engine import expr
+    from .serving import QueryClient, ServerError
+
+    if args.stats or args.catalog:
+        if args.ops:
+            print("error: --stats/--catalog are probes; drop the --op flags",
+                  file=sys.stderr)
+            return 2
+    elif not args.ops:
+        print("error: query needs --op reductions (or --stats/--catalog)",
+              file=sys.stderr)
+        return 2
+    builders = {
+        "mean": lambda x: expr.mean(x[0], padded=not args.true_mean),
+        "variance": lambda x: expr.variance(x[0]),
+        "standard-deviation": lambda x: expr.standard_deviation(x[0]),
+        "l2-norm": lambda x: expr.l2_norm(x[0]),
+        "dot": lambda x: expr.dot(x[0], x[1]),
+        "covariance": lambda x: expr.covariance(x[0], x[1]),
+        "cosine-similarity": lambda x: expr.cosine_similarity(x[0], x[1]),
+        "euclidean-distance": lambda x: expr.euclidean_distance(x[0], x[1]),
+    }
+    outputs = {}
+    for spec in args.ops or ():
+        parsed, message = _parse_op_spec(spec)
+        if parsed is None:
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        op, names = parsed
+        outputs[spec] = builders[op]([expr.source(name) for name in names])
+    try:
+        with QueryClient(args.host, args.port, timeout=args.timeout) as client:
+            if args.stats:
+                print(json.dumps(client.stats(), indent=2))
+                return 0
+            if args.catalog:
+                print(json.dumps(client.catalog(), indent=2))
+                return 0
+            full = client.evaluate_full(outputs)
+    except ServerError as exc:
+        print(f"error: server rejected the request: {exc}", file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(full))
+    else:
+        for spec in outputs:
+            print(f"{spec} = {full['results'][spec]!r}")
+        batch = full["batch"]
+        print(f"(batch: {batch['requests']} request(s) -> {batch['plans']} "
+              f"plan(s), {batch['passes']} pass(es))")
+    return 0
+
+
 def _probe_field() -> np.ndarray:
     """The standard 256×256 float64 probe the ``codecs`` listing measures on
     (the same generator the cross-codec ablation sweeps)."""
@@ -655,6 +837,8 @@ def main(argv: list[str] | None = None) -> int:
         "stream-compress": _cmd_stream_compress,
         "stream-decompress": _cmd_stream_decompress,
         "stream-ops": _cmd_stream_ops,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
         "codecs": _cmd_codecs,
         "backends": _cmd_backends,
         "info": _cmd_info,

@@ -15,6 +15,9 @@ expression graph plus a fusing planner:
   the product sum; mean, variance and covariance share the DC sum), groups
   them by source so each chunk is decoded **once per pass**, and schedules
   two-pass statistics as exactly two fused sweeps.
+* :mod:`repro.engine.wire` — a stable JSON wire form for the expression graph
+  (sources become catalog names), which is how the serving layer
+  (:mod:`repro.serving`) ships reduction requests over the network.
 
 Results are bit-identical to the sequential per-op calls (same partials, same
 ``fsum`` order); an ``executor`` fans batched multi-partial chunk jobs across
@@ -31,7 +34,7 @@ Quickstart::
     single = evaluate(expr.l2_norm(store_a))   # bare scalar
 """
 
-from . import expr
+from . import expr, wire
 from .plan import Plan, PlanPass, PassGroup, evaluate, plan
 
-__all__ = ["expr", "plan", "evaluate", "Plan", "PlanPass", "PassGroup"]
+__all__ = ["expr", "wire", "plan", "evaluate", "Plan", "PlanPass", "PassGroup"]

@@ -84,13 +84,25 @@ class ArrayExpr(Expr):
 
 @dataclass(frozen=True, eq=False)
 class Source(ArrayExpr):
-    """Leaf wrapping a concrete chunk source (store or re-iterable of chunks)."""
+    """Leaf wrapping a concrete chunk source (store or re-iterable of chunks).
+
+    A source may also wrap a bare **catalog name** string — the client-side
+    shape of the serving wire form (:mod:`repro.engine.wire`), resolved to a
+    store by the server's catalog.
+    """
 
     wrapped: Any
 
     @property
     def key(self) -> tuple:
-        """Identity of the wrapped object — same store/sequence, same node."""
+        """Identity of the wrapped object — same store/sequence, same node.
+
+        Name strings are identified by their *value*, not their object id:
+        two sources naming the same catalog entry are the same source, which
+        keeps wire round trips structurally stable.
+        """
+        if isinstance(self.wrapped, str):
+            return ("source", "name", self.wrapped)
         return ("source", id(self.wrapped))
 
     def __repr__(self) -> str:

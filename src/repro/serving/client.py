@@ -1,0 +1,108 @@
+"""Small synchronous client for the query service's line protocol.
+
+:class:`QueryClient` speaks the newline-delimited JSON protocol of
+:class:`repro.serving.QueryService` over one TCP connection.  It accepts
+either ready-made wire dicts or live :class:`repro.engine.expr` nodes (which
+it serializes with :func:`repro.engine.wire.request_to_wire` — sources must
+wrap catalog *names*, since the stores live server-side).
+
+One connection answers requests in order, so a single client is a sequential
+caller; run several clients (threads or processes) to exercise the server's
+request coalescing, as ``benchmarks/bench_serving.py`` does.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Mapping
+
+from ..engine.expr import Expr
+from ..engine.wire import request_to_wire
+
+__all__ = ["QueryClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """The server answered ``ok: false``; the message is the server's error."""
+
+
+class QueryClient:
+    """One TCP connection to a :class:`repro.serving.QueryService`.
+
+    ::
+
+        with QueryClient(host, port) as client:
+            values = client.evaluate({"m": expr.mean(expr.source("temps"))})
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float | None = 30.0):
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._stream = self._socket.makefile("rwb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ transport
+    def _call(self, request: dict) -> dict:
+        """Send one request line, read one response line, check ``ok``."""
+        self._next_id += 1
+        request = {"id": self._next_id, **request}
+        self._stream.write(json.dumps(request).encode("utf-8") + b"\n")
+        self._stream.flush()
+        line = self._stream.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if response.get("id") != self._next_id:
+            raise ConnectionError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {self._next_id}"
+            )
+        if not response.get("ok"):
+            raise ServerError(response.get("error", "unknown server error"))
+        return response
+
+    # ------------------------------------------------------------------ requests
+    def evaluate(self, outputs: Mapping[str, "Expr | dict"]) -> dict[str, Any]:
+        """Evaluate named reductions server-side; returns ``{name: value}``.
+
+        ``outputs`` maps names to reduction expressions over catalog-name
+        sources, or to already serialized wire dicts (passed through).
+        """
+        response = self.evaluate_full(outputs)
+        return response["results"]
+
+    def evaluate_full(self, outputs: Mapping[str, "Expr | dict"]) -> dict:
+        """Like :meth:`evaluate` but returns the whole response — results plus
+        the batch the request rode in (``batch.requests``/``plans``/``passes``)
+        and the server-side latency in seconds."""
+        live = {name: node for name, node in outputs.items()
+                if isinstance(node, Expr)}
+        wired = dict(request_to_wire(live)) if live else {}
+        for name, node in outputs.items():
+            if name not in wired:
+                wired[name] = node  # already a wire dict
+        return self._call({"kind": "evaluate", "outputs": wired})
+
+    def stats(self) -> dict:
+        """The server's metrics snapshot (requests, plans, latency, cache)."""
+        return self._call({"kind": "stats"})["stats"]
+
+    def catalog(self) -> dict:
+        """The server's catalog listing (name → path and geometry if open)."""
+        return self._call({"kind": "catalog"})["catalog"]
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Close the stream and socket; safe to call more than once."""
+        try:
+            self._stream.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -38,7 +38,9 @@ compress each slab independently, so any chunking is valid.
 
 from __future__ import annotations
 
+import os
 import struct
+import threading
 from pathlib import Path
 from typing import Iterator
 
@@ -65,6 +67,10 @@ _END_MAGIC = b"PBLZE"
 _STORE_VERSION = 2
 #: Trailer = footer offset (u64) + end magic; read first to locate the chunk table.
 _TRAILER_BYTES = 8 + len(_END_MAGIC)
+
+#: Positional reads (``os.pread``) keep concurrent chunk reads safe without a
+#: lock; platforms without it (non-POSIX) fall back to a per-store read lock.
+_HAVE_PREAD = hasattr(os, "pread")
 
 
 def _check_chunk_settings(store_settings: CompressionSettings, chunk: CompressedArray) -> None:
@@ -138,6 +144,7 @@ class CompressedStoreWriter:
         """
         if self._finalized:
             raise CodecError("cannot append to a finalized store")
+        self._check_open("append to")
         if self.settings is not None and isinstance(chunk, CompressedArray):
             _check_chunk_settings(self.settings, chunk)
         multiple = self.codec.chunk_row_multiple
@@ -163,10 +170,26 @@ class CompressedStoreWriter:
         self._handle.write(payload)
         self._chunks.append((offset, len(payload), n_rows))
 
+    def _check_open(self, action: str) -> None:
+        """Raise the documented :class:`CodecError` when the handle is closed.
+
+        ``__exit__`` closes the handle on an in-``with`` exception without
+        finalizing; a later manual :meth:`finalize`/:meth:`append` must surface
+        the documented error type, not a raw ``ValueError`` from the closed
+        file object.
+        """
+        if self._handle.closed:
+            raise CodecError(
+                f"cannot {action} a closed writer (its context block exited "
+                f"after an error, so nothing was published at {self.path}); "
+                "open a new writer to rewrite the store"
+            )
+
     def finalize(self) -> None:
         """Write the chunk table, close the file and publish it at ``path``."""
         if self._finalized:
             return
+        self._check_open("finalize")
         if not self._chunks:
             self._handle.close()
             self._temp_path.unlink(missing_ok=True)
@@ -203,6 +226,11 @@ class CompressedStore:
     chunk table.  :attr:`chunks_read` counts how many chunk records have been
     decoded, which the tests use to assert that region reads stay selective.
 
+    Chunk record reads are **thread-safe**: they use positional ``os.pread``
+    (falling back to a per-store seek lock where unavailable), so concurrent
+    readers — a threaded executor, the serving layer — never interleave each
+    other's seek/read pairs, and :attr:`chunks_read` accounting is lock-guarded.
+
     Attributes
     ----------
     codec_name:
@@ -212,15 +240,24 @@ class CompressedStore:
         The shared :class:`CompressionSettings` for pyblaz-family stores
         (parsed from the header for v1, recovered from the first chunk for v2),
         ``None`` for stores of codecs without settings.
+    chunk_cache:
+        Optional process-wide decoded-chunk cache (the serving layer's
+        :class:`repro.serving.ChunkCache`); when set, :meth:`read_chunk`
+        consults it before decoding, keyed by ``(path, chunk index)``.
+        ``chunks_read`` keeps counting logical reads either way, so decode
+        savings show up in the cache's own hit counters.
     """
 
     def __init__(self, path):
         self.path = Path(path)
         self._handle = open(self.path, "rb")
         self.chunks_read = 0
+        self.chunk_cache = None
+        self._lock = threading.Lock()
         self._settings: CompressionSettings | None = None
         self._settings_resolved = False
         self._codec: Codec | None = None
+        self._dtype: np.dtype | None = None
         try:
             self._read_header_and_table()
         except Exception:
@@ -325,6 +362,26 @@ class CompressedStore:
         return self._settings
 
     @property
+    def dtype(self) -> np.dtype:
+        """Element dtype that chunk decompression produces for this store.
+
+        Pyblaz-family stores (and the other built-in lossy codecs) reconstruct
+        float64 by contract (:meth:`repro.core.Compressor.decompress`); codecs
+        that preserve the source dtype (huffman) declare it on their decoded
+        chunk objects, which is recovered from chunk 0's record without
+        decompressing anything.  :meth:`load_region` uses this so empty and
+        non-empty selections agree on dtype.
+        """
+        if self._dtype is None:
+            if self.settings is not None:
+                self._dtype = np.dtype(np.float64)
+            else:
+                declared = getattr(self._decode_chunk(0), "dtype", None)
+                self._dtype = (np.dtype(declared) if declared is not None
+                               else np.dtype(np.float64))
+        return self._dtype
+
+    @property
     def codec(self) -> Codec:
         """A default instance of the store's codec (decoding needs no parameters)."""
         if self._codec is None:
@@ -346,14 +403,38 @@ class CompressedStore:
         self._codec = codec
 
     # ------------------------------------------------------------------ chunk access
+    def _read_record(self, offset: int, n_bytes: int) -> bytes:
+        """Read ``n_bytes`` at ``offset``, safely under concurrent callers.
+
+        Positional ``os.pread`` never moves a shared file position, so two
+        threads reading different chunks cannot interleave and decode each
+        other's bytes; the non-POSIX fallback serializes seek+read behind the
+        store lock instead.  Short positional reads (signal interruption) are
+        retried until the record is complete.
+        """
+        if _HAVE_PREAD:
+            fd = self._handle.fileno()
+            pieces = []
+            position, remaining = offset, n_bytes
+            while remaining > 0:
+                piece = os.pread(fd, remaining, position)
+                if not piece:
+                    break  # EOF: return short; the decoder reports corruption
+                pieces.append(piece)
+                position += len(piece)
+                remaining -= len(piece)
+            return b"".join(pieces)
+        with self._lock:
+            self._handle.seek(offset)
+            return self._handle.read(n_bytes)
+
     def _decode_chunk(self, index: int):
-        """Seek to chunk ``index`` and decode it (without counting it as read)."""
+        """Read chunk ``index``'s record and decode it (without counting it as read)."""
         offset, n_bytes, n_rows, _ = self._chunks[index]
         try:
             if self.version == 1:
                 return self._decode_v1_chunk(offset, n_rows)
-            self._handle.seek(offset)
-            data = self._handle.read(n_bytes)
+            data = self._read_record(offset, n_bytes)
             return get_codec_class(self.codec_name).from_bytes(data)
         except CodecError:
             raise
@@ -371,8 +452,7 @@ class CompressedStore:
         n_blocks = settings.n_blocks(chunk_shape)
         maxima_nbytes = float_bytes(n_blocks, settings.float_format)
         indices_nbytes = n_blocks * settings.kept_per_block * settings.index_dtype.itemsize
-        self._handle.seek(offset)
-        data = self._handle.read(maxima_nbytes + indices_nbytes)
+        data = self._read_record(offset, maxima_nbytes + indices_nbytes)
         maxima = unpack_floats(data[:maxima_nbytes], n_blocks, settings.float_format)
         maxima = maxima.reshape(settings.block_grid_shape(chunk_shape))
         indices = np.frombuffer(
@@ -389,9 +469,24 @@ class CompressedStore:
         )
 
     def read_chunk(self, index: int):
-        """Decode chunk ``index`` into the codec's compressed object of its slab."""
-        chunk = self._decode_chunk(index)
-        self.chunks_read += 1
+        """Decode chunk ``index`` into the codec's compressed object of its slab.
+
+        With a :attr:`chunk_cache` attached, a cached decode is reused instead
+        of re-parsing the record; ``chunks_read`` counts the logical read
+        either way (pass-count assertions stay meaningful, cache savings are
+        visible in the cache's hit counters).
+        """
+        cache = self.chunk_cache
+        if cache is None:
+            chunk = self._decode_chunk(index)
+        else:
+            key = (str(self.path), index)
+            chunk = cache.get(key)
+            if chunk is None:
+                chunk = self._decode_chunk(index)
+                cache.put(key, chunk)
+        with self._lock:
+            self.chunks_read += 1
         return chunk
 
     def iter_chunks(self) -> Iterator:
@@ -498,7 +593,7 @@ class CompressedStore:
             assembled = np.concatenate(parts, axis=0)
         else:
             empty_rows = (0,) + self.shape[1:]
-            assembled = np.empty(empty_rows, dtype=np.float64)[(slice(None),) + region[1:]]
+            assembled = np.empty(empty_rows, dtype=self.dtype)[(slice(None),) + region[1:]]
         return assembled[0] if squeeze_rows else assembled
 
     # ------------------------------------------------------------------ lifecycle

@@ -356,3 +356,87 @@ class TestStreamOpsEvaluateAndJson:
                 one, two = left.load_compressed(), right.load_compressed()
         assert np.array_equal(one.indices, two.indices)
         assert np.array_equal(one.maxima, two.maxima)
+
+
+class TestServeQueryCommands:
+    @pytest.fixture
+    def served(self, tmp_path):
+        """A threaded query service over one small two-store catalog."""
+        from repro.serving import StoreCatalog, ThreadedQueryService
+
+        for name, seed in (("a", 3), ("b", 5)):
+            npy = tmp_path / f"{name}.npy"
+            np.save(npy, smooth_field((40, 24), seed=seed))
+            assert main(["stream-compress", str(npy), str(tmp_path / f"{name}.pblzc"),
+                         "--block", "4,4", "--slab-rows", "8"]) == 0
+        with StoreCatalog({"a": tmp_path / "a.pblzc",
+                           "b": tmp_path / "b.pblzc"}) as catalog:
+            with ThreadedQueryService(catalog) as service:
+                yield service
+
+    def test_query_round_trip(self, served, capsys):
+        code = main(["query", "--host", served.host, "--port", str(served.port),
+                     "--op", "mean:a", "--op", "dot:a,b"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean:a = " in out and "dot:a,b = " in out
+        assert "1 plan(s)" in out
+
+    def test_query_json_reports_batch(self, served, capsys):
+        import json
+
+        code = main(["query", "--host", served.host, "--port", str(served.port),
+                     "--op", "variance:a", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert "variance:a" in payload["results"]
+        assert payload["batch"]["plans"] == 1
+
+    def test_query_stats_and_catalog_probes(self, served, capsys):
+        import json
+
+        assert main(["query", "--host", served.host, "--port", str(served.port),
+                     "--stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert "requests" in stats and "plans" in stats
+        assert main(["query", "--host", served.host, "--port", str(served.port),
+                     "--catalog"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert set(listing) == {"a", "b"}
+
+    def test_query_usage_errors(self, served, capsys):
+        port = str(served.port)
+        assert main(["query", "--port", port]) == 2
+        assert "--op" in capsys.readouterr().err
+        assert main(["query", "--port", port, "--op", "nonsense"]) == 2
+        assert "OPERATION:STORES" in capsys.readouterr().err
+        assert main(["query", "--port", port, "--op", "bogus:a"]) == 2
+        assert "valid operations" in capsys.readouterr().err
+        assert main(["query", "--port", port, "--op", "dot:a"]) == 2
+        assert "takes 2 store name(s)" in capsys.readouterr().err
+        assert main(["query", "--port", port, "--stats", "--op", "mean:a"]) == 2
+        assert "probes" in capsys.readouterr().err
+
+    def test_query_server_side_error_exits_2(self, served, capsys):
+        code = main(["query", "--host", served.host, "--port", str(served.port),
+                     "--op", "mean:missing"])
+        assert code == 2
+        assert "unknown store" in capsys.readouterr().err
+
+    def test_query_unreachable_server_exits_2(self, capsys):
+        # a port from the ephemeral range with nothing bound to it
+        code = main(["query", "--host", "127.0.0.1", "--port", "1",
+                     "--op", "mean:a", "--timeout", "2"])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_serve_usage_errors(self, tmp_path, capsys):
+        assert main(["serve", "noequals"]) == 2
+        assert "NAME=PATH" in capsys.readouterr().err
+        assert main(["serve", f"x={tmp_path / 'missing.pblzc'}"]) == 2
+        assert "cannot read store" in capsys.readouterr().err
+        plain = tmp_path / "plain.bin"
+        plain.write_bytes(b"not a store at all")
+        assert main(["serve", f"x={plain}"]) == 2
+        assert "not a chunked store" in capsys.readouterr().err

@@ -1,0 +1,218 @@
+"""Unit tests for the serving building blocks: cache, catalog, metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CompressionSettings
+from repro.serving import ChunkCache, ServiceMetrics, StoreCatalog
+from repro.serving.cache import _estimate_nbytes
+from repro.streaming import ChunkedCompressor
+
+from tests.conftest import smooth_field
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    """One small pyblaz store on disk."""
+    settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
+                                   index_dtype="int16")
+    compressor = ChunkedCompressor(settings, slab_rows=16)
+    store = compressor.compress_to_store(smooth_field((48, 12), seed=3), tmp_path / "x.rcs")
+    store.close()
+    return tmp_path / "x.rcs"
+
+
+class TestChunkCache:
+    def test_get_put_lru_and_counters(self):
+        cache = ChunkCache(max_bytes=10_000)
+        payload = np.zeros(100, dtype=np.float64)  # 800 bytes
+
+        class Rec:
+            def __init__(self):
+                self.data = payload
+
+        assert cache.get(("s", 0)) is None  # miss
+        record = Rec()
+        cache.put(("s", 0), record)
+        assert cache.get(("s", 0)) is record  # hit
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.current_bytes == 800
+
+    def test_byte_budget_evicts_lru(self):
+        cache = ChunkCache(max_bytes=2_000)
+
+        class Rec:
+            def __init__(self):
+                self.data = np.zeros(100, dtype=np.float64)  # 800 bytes
+
+        records = [Rec() for _ in range(4)]
+        for i, record in enumerate(records):
+            cache.put(("s", i), record)
+        # 4 * 800 = 3200 > 2000: the two oldest are gone
+        assert len(cache) == 2
+        assert cache.evictions == 2
+        assert cache.get(("s", 0)) is None
+        assert cache.get(("s", 3)) is records[3]
+        assert cache.current_bytes <= 2_000
+
+    def test_touch_refreshes_recency(self):
+        cache = ChunkCache(max_bytes=1_700)  # fits two 800-byte records
+
+        class Rec:
+            def __init__(self):
+                self.data = np.zeros(100, dtype=np.float64)
+
+        first, second, third = Rec(), Rec(), Rec()
+        cache.put(("s", 0), first)
+        cache.put(("s", 1), second)
+        cache.get(("s", 0))  # 0 is now most recent
+        cache.put(("s", 2), third)  # evicts 1, not 0
+        assert cache.get(("s", 0)) is first
+        assert cache.get(("s", 1)) is None
+
+    def test_oversized_record_not_cached(self):
+        cache = ChunkCache(max_bytes=100)
+
+        class Big:
+            def __init__(self):
+                self.data = np.zeros(1000, dtype=np.float64)
+
+        cache.put(("s", 0), Big())
+        assert len(cache) == 0 and cache.current_bytes == 0
+
+    def test_invalidate_by_store_and_all(self):
+        cache = ChunkCache()
+
+        class Rec:
+            def __init__(self):
+                self.data = b"x" * 10
+
+        for name in ("a", "b"):
+            for i in range(3):
+                cache.put((name, i), Rec())
+        assert cache.invalidate("a") == 3
+        assert len(cache) == 3
+        assert cache.get(("a", 0)) is None
+        assert cache.get(("b", 0)) is not None
+        assert cache.invalidate() == 3
+        assert len(cache) == 0 and cache.current_bytes == 0
+
+    def test_estimate_counts_arrays_and_bytes(self):
+        class Rec:
+            def __init__(self):
+                self.maxima = np.zeros((2, 3), dtype=np.float32)  # 24 bytes
+                self.payload = b"abcdef"  # 6 bytes
+                self.note = "ignored"  # strings cost nothing
+
+        assert _estimate_nbytes(Rec()) == 30
+        assert _estimate_nbytes(object()) == 1  # floor
+
+    def test_snapshot_shape(self):
+        cache = ChunkCache(max_bytes=123)
+        snap = cache.snapshot()
+        assert snap == {"entries": 0, "bytes": 0, "max_bytes": 123, "hits": 0,
+                        "misses": 0, "evictions": 0, "hit_rate": 0.0}
+
+    def test_store_reads_populate_and_hit_cache(self, store_path):
+        from repro.streaming import CompressedStore
+
+        cache = ChunkCache()
+        with CompressedStore(store_path) as store:
+            store.chunk_cache = cache
+            first = [store.read_chunk(i) for i in range(store.n_chunks)]
+            assert cache.misses == store.n_chunks and cache.hits == 0
+            second = [store.read_chunk(i) for i in range(store.n_chunks)]
+            assert cache.hits == store.n_chunks
+            for x, y in zip(first, second):
+                assert x is y  # cached object, no re-decode
+            # logical read counter still counts every read
+            assert store.chunks_read == 2 * store.n_chunks
+
+
+class TestStoreCatalog:
+    def test_lazy_open_shared_handle_and_close(self, store_path):
+        catalog = StoreCatalog({"x": store_path})
+        assert "x" in catalog and len(catalog) == 1
+        assert list(catalog) == ["x"]
+        assert catalog.describe() == {"x": {"path": str(store_path)}}  # cold: path only
+        store = catalog.get("x")
+        assert catalog.get("x") is store  # one shared handle
+        described = catalog.describe()["x"]
+        assert described["shape"] == [48, 12]
+        assert described["codec"] == "pyblaz"
+        catalog.close()
+        assert store._handle.closed  # owned store really closed
+
+    def test_unknown_name_lists_catalog(self, store_path):
+        catalog = StoreCatalog({"x": store_path, "y": store_path})
+        with pytest.raises(KeyError, match="unknown store 'z'.*x, y"):
+            catalog.get("z")
+
+    def test_adopted_store_not_closed(self, store_path):
+        from repro.streaming import CompressedStore
+
+        with CompressedStore(store_path) as store:
+            with StoreCatalog({"x": store}) as catalog:
+                assert catalog.get("x") is store
+            assert not store._handle.closed  # catalog did not close it
+
+    def test_cache_attached_to_opened_stores(self, store_path):
+        cache = ChunkCache()
+        with StoreCatalog({"x": store_path}, cache=cache) as catalog:
+            assert catalog.get("x").chunk_cache is cache
+
+    def test_rejects_empty_and_bad_names(self, store_path):
+        with pytest.raises(ValueError, match="at least one"):
+            StoreCatalog({})
+        with pytest.raises(ValueError, match="non-empty strings"):
+            StoreCatalog({"": store_path})
+
+
+class TestServiceMetrics:
+    def test_counters_and_snapshot(self):
+        metrics = ServiceMetrics()
+        for _ in range(3):
+            metrics.record_received()
+        metrics.record_failed()
+        metrics.record_served(0.010)
+        metrics.record_served(0.030)
+        metrics.record_batch(n_requests=2, n_plans=1, passes=2, seconds=0.04)
+        snap = metrics.snapshot()
+        assert snap["requests"] == {"received": 3, "served": 2, "failed": 1}
+        assert snap["plans"]["executed"] == 1
+        assert snap["plans"]["passes_total"] == 2
+        assert snap["plans"]["batches"] == 1
+        assert snap["plans"]["max_batch"] == 2
+        assert snap["plans"]["mean_batch"] == 2.0
+        assert snap["latency_seconds"]["count"] == 2
+        assert snap["latency_seconds"]["p50"] == 0.010
+        assert snap["latency_seconds"]["p99"] == 0.030
+        assert "cache" not in snap  # no cache attached
+
+    def test_latency_quantiles_nearest_rank(self):
+        metrics = ServiceMetrics()
+        for value in range(1, 101):  # 1ms .. 100ms
+            metrics.record_served(value / 1000.0)
+        latency = metrics.snapshot()["latency_seconds"]
+        assert latency["p50"] == pytest.approx(0.050, abs=0.002)
+        assert latency["p99"] == pytest.approx(0.099, abs=0.002)
+        assert latency["mean"] == pytest.approx(0.0505)
+
+    def test_latency_window_bounded(self):
+        metrics = ServiceMetrics(latency_window=10)
+        for value in range(100):
+            metrics.record_served(float(value))
+        latency = metrics.snapshot()["latency_seconds"]
+        assert latency["count"] == 10
+        assert latency["p50"] >= 90.0  # only the newest survive
+
+    def test_empty_latency_is_none(self):
+        latency = ServiceMetrics().snapshot()["latency_seconds"]
+        assert latency["p50"] is None and latency["p99"] is None
+
+    def test_cache_snapshot_included(self):
+        cache = ChunkCache()
+        snap = ServiceMetrics(cache=cache).snapshot()
+        assert snap["cache"]["max_bytes"] == cache.max_bytes
