@@ -233,7 +233,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "of the zero-padded block domain")
     p_ops.add_argument("--json", action="store_true",
                        help="emit one machine-readable JSON object (values, "
-                            "timing, fused pass count) instead of text lines")
+                            "timing, fused pass count, executing backend) "
+                            "instead of text lines")
+    p_ops.add_argument("--backend", default=None,
+                       choices=list(available_backends()),
+                       help="kernel backend executing the fused chunk steps of "
+                            "`evaluate` (default: reference, bit-exact; gemm/"
+                            "numba compile one kernel per fused pass — see "
+                            "docs/engine.md 'Compiled plans')")
 
     p_serve = sub.add_parser(
         "serve",
@@ -257,6 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-bytes", type=int, default=None,
                          help="decoded-chunk LRU cache budget in bytes "
                               "(default: 256 MiB; 0 disables the cache)")
+    p_serve.add_argument("--backend", default=None,
+                         choices=list(available_backends()),
+                         help="kernel backend executing every served plan "
+                              "(default: reference; compiled backends reuse "
+                              "one kernel per plan signature across requests)")
 
     p_query = sub.add_parser(
         "query",
@@ -542,6 +554,11 @@ def _cmd_stream_ops(args: argparse.Namespace) -> int:
     if operation == "scale" and args.scalar is None:
         print("error: scale needs --scalar", file=sys.stderr)
         return 2
+    if args.backend is not None and operation in _ARRAY_OPS:
+        print("error: --backend selects the scalar reductions' fused-pass "
+              "kernels; add/subtract/scale/negate always run the reference "
+              "path", file=sys.stderr)
+        return 2
     executor = ProcessExecutor(n_workers=args.workers) if args.workers > 1 else None
 
     def run_scalars(store_a, store_b) -> int:
@@ -550,8 +567,9 @@ def _cmd_stream_ops(args: argparse.Namespace) -> int:
                                           args.true_mean)
         fused = engine.plan(expressions)
         start = time.perf_counter()
-        values = fused.execute(executor=executor)
+        values = fused.execute(executor=executor, backend=args.backend)
         seconds = time.perf_counter() - start
+        executed = fused.last_execution or {}
         if args.json:
             stores = [args.store_a] + ([args.store_b] if store_b is not None else [])
             print(json.dumps({
@@ -560,10 +578,18 @@ def _cmd_stream_ops(args: argparse.Namespace) -> int:
                 "seconds": seconds,
                 "stores": stores,
                 "workers": args.workers,
+                "backend": executed.get("backend"),
+                "backend_fallback": executed.get("fallback_reason"),
+                "compiled_groups": executed.get("compiled_groups"),
+                "interpreted_groups": executed.get("interpreted_groups"),
+                "compile_seconds": executed.get("compile_seconds"),
+                "describe": fused.describe(),
             }))
         else:
             for name in requested:
                 print(f"{name} = {values[name]!r}")
+            if args.backend and executed.get("fallback_reason"):
+                print(f"note: {executed['fallback_reason']}", file=sys.stderr)
         return 0
 
     def report_store(out) -> None:
@@ -639,13 +665,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     tick = args.tick if args.tick is not None else 0.002
     with StoreCatalog(mapping, cache=cache) as catalog:
         service = QueryService(catalog, tick=tick,
-                               coalesce=not args.no_coalesce)
+                               coalesce=not args.no_coalesce,
+                               backend=args.backend)
 
         async def run() -> None:
             host, port = await service.start(args.host, args.port)
             print(f"serving {len(catalog)} store(s) on {host}:{port} "
                   f"(tick {service.tick * 1000:g} ms, coalescing "
-                  f"{'on' if service.coalesce else 'off'})", flush=True)
+                  f"{'on' if service.coalesce else 'off'}, backend "
+                  f"{service.backend or 'reference'})", flush=True)
             await service.serve_forever()
 
         try:

@@ -36,6 +36,14 @@ sums are computed by the same partials on the same chunk bits, and
 :func:`repro.core.ops.folds.total` finalizes with ``math.fsum`` over the same
 per-chunk vectors in the same chunk order.
 
+**Compiled execution**: ``Plan.execute(backend=...)`` routes lowered pass
+groups through one compiled fused-pass kernel per plan signature
+(:mod:`repro.engine.compile`) — ``gemm`` vectorizes the whole step over the
+flattened kept-coefficient matrices, ``numba`` JIT-compiles a generated
+per-block loop.  The ``reference`` default keeps the interpreted, bit-exact
+path above; compiled means stay bit-identical and summing folds agree within
+the backend's ``fused_fold_tolerance`` (see ``docs/engine.md``).
+
 Executor fan-out: with an ``executor`` (any :class:`repro.parallel.BlockExecutor`)
 and store-only sources, each pass dispatches one *batched multi-partial job*
 per chunk through :meth:`BlockExecutor.map_jobs` — the worker decodes the
@@ -51,8 +59,10 @@ from typing import Mapping
 
 from ..core import ops as core_ops
 from ..core.ops import folds
+from ..kernels import DEFAULT_BACKEND
 from ..streaming.sources import aligned_chunks, check_stores, require_pyblaz
 from ..streaming.store import CompressedStore
+from . import compile as plan_compile
 from .expr import ArrayExpr, Expr, Reduction, Source, TWO_PASS_OPS
 
 __all__ = ["Plan", "PlanPass", "PassGroup", "plan", "evaluate"]
@@ -137,18 +147,33 @@ def _evaluate_chunk_terms(program: tuple, values: dict, terms: tuple,
 
 
 def _plan_pass_job(program: tuple, paths: tuple, terms: tuple, extras: tuple,
-                   index: int) -> list[folds.FoldState]:
+                   index: int,
+                   backend: str = DEFAULT_BACKEND) -> list[folds.FoldState]:
     """Picklable batched multi-partial job: one chunk decode feeds every fused fold.
 
     Workers (possibly in other processes) reopen each needed store by path,
     decode only chunk ``index`` of each — one decode per source per job — and
     return the full list of fold partial states for this chunk, orders of
-    magnitude smaller than the chunk itself.
+    magnitude smaller than the chunk itself.  Under a non-default ``backend``
+    the step runs through the compiled fused-pass kernel when the group
+    lowers (cached per worker process — one compile serves every job with
+    this plan signature), interpreting otherwise.
     """
     values = {}
     for slot, path in paths:
         with CompressedStore(path) as store:
             values[slot] = store.read_chunk(index)
+    if backend != DEFAULT_BACKEND:
+        slots = tuple(slot for slot, _ in paths)
+        lowering = plan_compile.lower_terms(program, terms, slots)
+        if lowering is not None:
+            chunks = tuple(values[slot] for slot in slots)
+            signature = plan_compile.signature_for(lowering, chunks[0].settings)
+            if signature is not None:
+                kernel, _ = plan_compile.get_pass_kernel(backend, signature)
+                if kernel is not None:
+                    return plan_compile.run_compiled_step(kernel, lowering,
+                                                          chunks, extras)
     return _evaluate_chunk_terms(program, values, terms, extras)
 
 
@@ -222,15 +247,27 @@ class Plan:
         The deduplicated leaf sources, in first-appearance order.
     passes:
         The scheduled :class:`PlanPass` sweeps (length = :attr:`n_passes`).
+    default_backend:
+        Kernel backend :meth:`execute` uses when called without ``backend=``
+        (``None`` → resolve from source settings, else ``reference``).
+    last_execution:
+        After :meth:`execute`: a dict recording the resolved ``backend``, any
+        availability ``fallback_reason``, per-mode group counts
+        (``compiled_groups``/``interpreted_groups``) and the JIT
+        ``compile_seconds`` spent this run (0.0 on warm kernel-cache hits).
+        ``None`` before the first execution.
     """
 
     def __init__(self, outputs: dict, program: tuple, sources: list,
-                 passes: list[PlanPass], shape: str):
+                 passes: list[PlanPass], shape: str,
+                 default_backend: str | None = None):
         self._outputs = outputs
         self._program = program
         self.sources = tuple(sources)
         self.passes = tuple(passes)
         self._shape = shape
+        self.default_backend = default_backend
+        self.last_execution: dict | None = None
 
     # -------------------------------------------------------------- introspection
     @property
@@ -253,20 +290,33 @@ class Plan:
         return tuple(counts)
 
     def describe(self) -> str:
-        """Human-readable plan: sources, per-pass fused terms, outputs."""
+        """Human-readable plan: backend, sources, per-pass fused terms, outputs.
+
+        The backend line reflects the *executing* backend: what the last
+        :meth:`execute` actually ran (including any availability fallback), or
+        what the next default execution would resolve to before the first run.
+        """
+        executed = self.last_execution
+        if executed is not None:
+            backend = executed["backend"]
+        else:
+            backend, _ = plan_compile.resolve_backend(self.default_backend,
+                                                      self.sources)
         lines = [f"plan: {self.n_passes} pass(es) over {len(self.sources)} source(s), "
-                 f"{len(self._outputs)} output(s)"]
+                 f"{len(self._outputs)} output(s), backend={backend}"]
         for index, source in enumerate(self.sources):
             label = type(source).__name__
             if isinstance(source, CompressedStore):
                 label = f"CompressedStore({source.path})"
             lines.append(f"  source s{index}: {label}")
         for pass_ in self.passes:
+            lines.append(f"  pass {pass_.index}: {len(pass_.terms)} term(s) in "
+                         f"{len(pass_.groups)} group(s)")
             for group in pass_.groups:
                 terms = ", ".join(f"{name}{slots}" for name, slots in group.terms)
                 decoded = ", ".join(f"s{i}" for i in group.source_indices)
-                lines.append(f"  pass {pass_.index}: decode [{decoded}] once per "
-                             f"chunk; fold {terms}")
+                lines.append(f"    decode [{decoded}] once per chunk; "
+                             f"fold {terms}")
         for key, (op, slots, _) in self._outputs.items():
             lines.append(f"  output {key!r}: {op}{slots}")
         return "\n".join(lines)
@@ -334,7 +384,8 @@ class Plan:
                 resolved.append(())
         return tuple(resolved)
 
-    def _run_pass(self, pass_: PlanPass, extras: tuple, executor) -> list:
+    def _run_pass(self, pass_: PlanPass, extras: tuple, executor,
+                  backend: str, run_stats: dict) -> list:
         """Execute one pass; return the combined state per term (pass order).
 
         Each :class:`PassGroup` runs its own aligned sweep over its connected
@@ -345,6 +396,14 @@ class Plan:
         fans out via ``map_jobs`` and states combine in chunk order —
         deterministic and bit-identical to the serial sweep because the
         combine is exact.
+
+        Under a non-default ``backend``, each group that *lowers*
+        (:func:`repro.engine.compile.lower_terms` — all-leaf-source terms
+        only) runs its chunk steps through one compiled fused-pass kernel,
+        fetched once per group from the signature-keyed cache; groups that do
+        not lower, and backends that decline, interpret exactly as the
+        default path.  ``run_stats`` accumulates the per-group mode counts
+        and JIT compile seconds reported via :attr:`last_execution`.
         """
         extra_by_term = dict(zip(pass_.terms, extras))
         state_by_term: dict = {}
@@ -353,14 +412,38 @@ class Plan:
             source_items = [(slot, self.sources[src_index])
                             for slot, src_index in zip(group.source_slots,
                                                        group.source_indices)]
+            lowering = None
+            if backend != DEFAULT_BACKEND:
+                lowering = plan_compile.lower_terms(
+                    self._program, group.terms, group.source_slots
+                )
             pooled = executor is not None and all(
                 isinstance(source, CompressedStore) for _, source in source_items
             )
             if pooled:
+                # resolve the kernel parent-side from the stores' settings so
+                # the group's mode is known (and, for thread pools, the kernel
+                # is already warm); process workers compile their own copy via
+                # the same per-process cache, once per plan signature
+                job_backend = DEFAULT_BACKEND
+                if lowering is not None:
+                    signature = plan_compile.signature_for(
+                        lowering, source_items[0][1].settings
+                    )
+                    if signature is not None:
+                        kernel, seconds = plan_compile.get_pass_kernel(
+                            backend, signature
+                        )
+                        run_stats["compile_seconds"] += seconds
+                        if kernel is not None:
+                            job_backend = backend
+                run_stats["compiled_groups" if job_backend != DEFAULT_BACKEND
+                          else "interpreted_groups"] += 1
                 paths = tuple((slot, str(source.path))
                               for slot, source in source_items)
                 n_chunks = source_items[0][1].n_chunks
-                jobs = [(self._program, paths, group.terms, group_extras, index)
+                jobs = [(self._program, paths, group.terms, group_extras,
+                         index, job_backend)
                         for index in range(n_chunks)]
                 per_chunk = executor.map_jobs(_plan_pass_job, jobs)
                 collected = [list(states) for states in zip(*per_chunk)]
@@ -370,14 +453,34 @@ class Plan:
                 collected = [[] for _ in group.terms]
                 sources = tuple(source for _, source in source_items)
                 slots = tuple(slot for slot, _ in source_items)
+                kernel = None
+                kernel_resolved = False
                 for chunks in aligned_chunks(sources):
-                    values = dict(zip(slots, chunks))
-                    chunks = None  # the step owns the chunks now
-                    states = _evaluate_chunk_terms(self._program, values,
-                                                   group.terms, group_extras)
-                    values = None  # drop the coefficients before the next decode
+                    if lowering is not None and not kernel_resolved:
+                        kernel_resolved = True
+                        signature = plan_compile.signature_for(
+                            lowering, chunks[0].settings
+                        )
+                        if signature is not None:
+                            kernel, seconds = plan_compile.get_pass_kernel(
+                                backend, signature
+                            )
+                            run_stats["compile_seconds"] += seconds
+                    if kernel is not None:
+                        states = plan_compile.run_compiled_step(
+                            kernel, lowering, chunks, group_extras
+                        )
+                        chunks = None
+                    else:
+                        values = dict(zip(slots, chunks))
+                        chunks = None  # the step owns the chunks now
+                        states = _evaluate_chunk_terms(self._program, values,
+                                                       group.terms, group_extras)
+                        values = None  # drop coefficients before the next decode
                     for bucket, state in zip(collected, states):
                         bucket.append(state)
+                run_stats["compiled_groups" if kernel is not None
+                          else "interpreted_groups"] += 1
             for term, bucket in zip(group.terms, collected):
                 combined = folds.combine_all(bucket)
                 if combined is None:
@@ -385,19 +488,43 @@ class Plan:
                 state_by_term[term] = combined
         return [state_by_term[term] for term in pass_.terms]
 
-    def execute(self, *, executor=None):
+    def execute(self, *, executor=None, backend=None):
         """Run every pass and finalize the requested scalars.
 
         Returns a dict keyed like the request, a list for a sequence request,
         or the bare scalar for a single-expression request.
+
+        ``backend`` selects the kernel backend executing the fused chunk
+        steps (registry names — see ``repro backends``): the default
+        ``reference`` path is bit-exact and identical to previous releases;
+        fast backends (``gemm``, ``numba``) run lowered groups through one
+        compiled kernel per pass signature within the backend's
+        ``fused_fold_tolerance``, falling back per group to the interpreter
+        when lowering is impossible and falling back entirely to
+        ``reference`` when the backend is unavailable.  When omitted, the
+        plan's :attr:`default_backend` (then the sources' settings consensus,
+        then ``reference``) applies; unknown names raise
+        :class:`repro.codecs.CodecError`.  :attr:`last_execution` records
+        what actually ran.
         """
         self._validate_sources()
+        requested = backend if backend is not None else self.default_backend
+        resolved, fallback = plan_compile.resolve_backend(requested, self.sources)
+        run_stats = {
+            "backend": resolved,
+            "requested_backend": requested,
+            "fallback_reason": fallback,
+            "compiled_groups": 0,
+            "interpreted_groups": 0,
+            "compile_seconds": 0.0,
+        }
         states: dict = {}
         means: dict[int, float] = {}
         for pass_ in self.passes:
             extras = self._extras(pass_.terms, means)
             for term, state in zip(pass_.terms,
-                                   self._run_pass(pass_, extras, executor)):
+                                   self._run_pass(pass_, extras, executor,
+                                                  resolved, run_stats)):
                 states[term] = state
             if pass_.index == 1 and self.n_passes == 2:
                 for name, slots in self.passes[1].terms:
@@ -407,6 +534,7 @@ class Plan:
                                 means[slot] = folds.dc_grand_mean(
                                     states[("dc", (slot,))]
                                 )
+        self.last_execution = run_stats
         results = {key: self._finalize_output(spec, states)
                    for key, spec in self._outputs.items()}
         if self._shape == "single":
@@ -494,15 +622,20 @@ def _normalize_request(request) -> tuple[dict, str]:
     )
 
 
-def plan(request) -> Plan:
+def plan(request, *, backend: str | None = None) -> Plan:
     """Compile reduction expressions into a fused, introspectable :class:`Plan`.
 
     ``request`` may be a single :class:`~repro.engine.expr.Reduction`, a
     mapping of names to reductions, or a sequence of reductions;
-    :meth:`Plan.execute` returns results in the matching shape.  Raises
-    ``TypeError`` for array-valued expressions (materialise those with
+    :meth:`Plan.execute` returns results in the matching shape.  ``backend``
+    sets the plan's default kernel backend (see :meth:`Plan.execute`; unknown
+    names raise :class:`repro.codecs.CodecError` here, at planning time).
+    Raises ``TypeError`` for array-valued expressions (materialise those with
     :mod:`repro.streaming.ops`) and ``ValueError`` for an empty request.
     """
+    if backend is not None:
+        from ..kernels import get_backend_class
+        get_backend_class(str(backend).lower())
     requested, shape = _normalize_request(request)
     if not requested:
         raise ValueError("cannot plan an empty set of expressions")
@@ -569,7 +702,8 @@ def plan(request) -> Plan:
         passes.append(PlanPass(len(passes) + 1, terms,
                                _group_terms(frozen_program, terms)))
 
-    return Plan(outputs, frozen_program, sources, passes, shape)
+    return Plan(outputs, frozen_program, sources, passes, shape,
+                default_backend=backend)
 
 
 def _group_terms(program: tuple, terms: tuple) -> tuple:
@@ -617,6 +751,11 @@ def _group_terms(program: tuple, terms: tuple) -> tuple:
     return tuple(groups)
 
 
-def evaluate(request, *, executor=None):
-    """Compile and run in one call: ``plan(request).execute(executor=executor)``."""
-    return plan(request).execute(executor=executor)
+def evaluate(request, *, executor=None, backend=None):
+    """Compile and run in one call: ``plan(request).execute(...)``.
+
+    ``backend`` passes straight through to :meth:`Plan.execute` — ``None``
+    keeps the bit-exact ``reference`` default (or the sources' settings
+    consensus).
+    """
+    return plan(request).execute(executor=executor, backend=backend)

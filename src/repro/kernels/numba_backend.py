@@ -27,7 +27,7 @@ import numpy as np
 
 from ..core.binning import index_radius
 from .base import KernelBackend
-from .gemm import _operator_t
+from .gemm import _operator_t, fused_fold_tolerance
 
 try:  # pragma: no cover - exercised only where numba is installed
     import numba as _numba
@@ -80,6 +80,64 @@ def _compiled_kernels():  # pragma: no cover - requires numba
     return forward, inverse
 
 
+def _fused_pass_source(signature) -> str:
+    """Generate the specialised fused-pass loop body for one plan signature.
+
+    One ``prange`` over blocks; inside, a single traversal of the kept
+    coefficient columns feeds every term's accumulator — each source's index
+    row is read once however many folds consume it.  Per-source descale
+    constants (``N_i / r``) arrive precomputed in float64 so the per-element
+    value ``F[i, j] * c`` is bit-identical to ``specified_coefficients``; the
+    centered DC shift applies at column 0 exactly as the centered partials do.
+    """
+    loop_terms = [(index, name, positions)
+                  for index, (name, positions) in enumerate(signature.terms)
+                  if name != "dc"]
+    read = sorted({position for _, _, positions in loop_terms
+                   for position in positions})
+    args = ", ".join(f"idx{k}, scale{k}" for k in range(signature.n_sources))
+    lines = [
+        f"def fused_pass({args}, shifts, out):",
+        "    n_blocks = idx0.shape[0]",
+        "    kept = idx0.shape[1]",
+        "    for i in prange(n_blocks):",
+    ]
+    lines += [f"        c{k} = scale{k}[i]" for k in range(signature.n_sources)]
+    lines += [f"        acc{index} = 0.0" for index, _, _ in loop_terms]
+    if loop_terms:
+        lines.append("        for j in range(kept):")
+        lines += [f"            v{k} = idx{k}[i, j] * c{k}" for k in read]
+        if signature.centered:
+            lines.append("            if j == 0:")
+            lines += [f"                v{k} = v{k} - shifts[{k}]" for k in read]
+        for index, name, positions in loop_terms:
+            if name in ("square", "centered_square"):
+                product = f"v{positions[0]} * v{positions[0]}"
+            elif name in ("product", "centered_product"):
+                product = f"v{positions[0]} * v{positions[1]}"
+            else:  # diff_square
+                lines.append(f"            d{index} = "
+                             f"v{positions[0]} - v{positions[1]}")
+                product = f"d{index} * d{index}"
+            lines.append(f"            acc{index} += {product}")
+    for index, (name, positions) in enumerate(signature.terms):
+        if name == "dc":
+            lines.append(f"        out[{index}, i] = "
+                         f"idx{positions[0]}[i, 0] * c{positions[0]}")
+        else:
+            lines.append(f"        out[{index}, i] = acc{index}")
+    return "\n".join(lines)
+
+
+@lru_cache(maxsize=None)
+def _compiled_pass_kernel(signature):  # pragma: no cover - requires numba
+    """JIT-compile (once per process per signature) the generated pass loop."""
+    source = _fused_pass_source(signature)
+    namespace: dict = {"prange": _numba.prange}
+    exec(compile(source, f"<fused-pass {signature.terms}>", "exec"), namespace)
+    return _numba.njit(parallel=True, cache=False)(namespace["fused_pass"])
+
+
 class NumbaKernel(KernelBackend):
     """Fused per-block JIT kernel (requires the optional numba dependency)."""
 
@@ -101,6 +159,30 @@ class NumbaKernel(KernelBackend):
     def accumulation_tolerance(self, settings) -> float:
         eps = float(np.finfo(np.float64).eps)
         return 4.0 * float(settings.block_size) ** 1.5 * eps
+
+    def fused_fold_tolerance(self, settings) -> float:
+        return fused_fold_tolerance(settings)
+
+    # ------------------------------------------------------------------ fused passes
+    def compile_fused_pass(self, signature):  # pragma: no cover - requires numba
+        """One generated+JIT-compiled loop per plan signature (see
+        :func:`_fused_pass_source`); declines when numba is absent so the
+        engine falls back to the interpreter."""
+        if _numba is None:
+            return None
+        jitted = _compiled_pass_kernel(signature)
+        radius = float(signature.index_radius)
+        n_terms = len(signature.terms)
+
+        def kernel(chunks, shifts):
+            args = []
+            for chunk in chunks:
+                args.append(np.ascontiguousarray(chunk.indices))
+                args.append(chunk.maxima.reshape(-1) / radius)
+            out = np.empty((n_terms, chunks[0].n_blocks), dtype=np.float64)
+            jitted(*args, np.asarray(shifts, dtype=np.float64), out)
+            return [np.array(row) for row in out]
+        return kernel
 
     # ------------------------------------------------------------------ kernels
     def transform_and_bin(self, blocked, transform, settings):  # pragma: no cover

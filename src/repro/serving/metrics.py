@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
+from collections import Counter, deque
 
 from .cache import ChunkCache
 
@@ -51,6 +51,7 @@ class ServiceMetrics:
         self.batches = 0
         self.batched_requests = 0
         self.max_batch = 0
+        self.plans_by_backend: Counter = Counter()
 
     # ------------------------------------------------------------------ recording
     def record_received(self) -> None:
@@ -70,8 +71,14 @@ class ServiceMetrics:
             self._latencies.append(float(latency_seconds))
 
     def record_batch(self, n_requests: int, n_plans: int, passes: int,
-                     seconds: float) -> None:
-        """One scheduler tick executed ``n_plans`` plan(s) for ``n_requests``."""
+                     seconds: float, backend: str | None = None) -> None:
+        """One scheduler tick executed ``n_plans`` plan(s) for ``n_requests``.
+
+        ``backend`` is the kernel backend the batch's plans *actually* ran
+        under (post any availability fallback); ``None`` counts as
+        ``reference``.  The per-backend plan counts surface in
+        :meth:`snapshot` as the proof that compiled serving is active.
+        """
         with self._lock:
             self.batches += 1
             self.batched_requests += n_requests
@@ -79,6 +86,7 @@ class ServiceMetrics:
             self.plans_executed += n_plans
             self.plan_passes_total += passes
             self.plan_seconds_total += float(seconds)
+            self.plans_by_backend[backend or "reference"] += n_plans
 
     # ------------------------------------------------------------------ reporting
     def snapshot(self) -> dict:
@@ -107,6 +115,7 @@ class ServiceMetrics:
                     "batched_requests": self.batched_requests,
                     "max_batch": self.max_batch,
                     "mean_batch": (self.batched_requests / batches) if batches else 0.0,
+                    "by_backend": dict(self.plans_by_backend),
                 },
                 "latency_seconds": latency,
             }

@@ -80,15 +80,28 @@ class QueryService:
     metrics:
         Optional :class:`ServiceMetrics`; one is created (wired to the
         catalog's cache) when omitted.
+    backend:
+        Kernel backend name every served plan executes under (``None`` →
+        the bit-exact ``reference`` default).  Compiled backends pay JIT
+        warm-up once per plan *signature* — the signature-keyed kernel cache
+        is process-wide, so coalesced plans with the same term shape reuse
+        one kernel across requests and ticks.  Unknown names raise here, at
+        construction; a known-but-unavailable backend falls back to
+        ``reference`` per plan (recorded in the metrics by-backend counts).
     """
 
     def __init__(self, catalog: StoreCatalog, *, tick: float = DEFAULT_TICK_SECONDS,
-                 coalesce: bool = True, metrics: ServiceMetrics | None = None):
+                 coalesce: bool = True, metrics: ServiceMetrics | None = None,
+                 backend: str | None = None):
         if tick < 0:
             raise ValueError("tick must be non-negative")
+        if backend is not None:
+            from ..kernels import get_backend_class
+            get_backend_class(str(backend).lower())  # fail fast on unknown names
         self.catalog = catalog
         self.tick = float(tick)
         self.coalesce = bool(coalesce)
+        self.backend = backend
         self.metrics = metrics if metrics is not None else ServiceMetrics(
             cache=catalog.cache
         )
@@ -238,7 +251,7 @@ class QueryService:
                 batch.append(extra)
             start = time.perf_counter()
             try:
-                per_request, n_plans, passes = await loop.run_in_executor(
+                per_request, n_plans, passes, backend = await loop.run_in_executor(
                     self._pool, self._execute_batch, batch
                 )
             except Exception as exc:
@@ -247,23 +260,29 @@ class QueryService:
                         item.future.set_exception(exc)
             else:
                 seconds = time.perf_counter() - start
-                self.metrics.record_batch(len(batch), n_plans, passes, seconds)
+                self.metrics.record_batch(len(batch), n_plans, passes, seconds,
+                                          backend=backend)
                 info = {"requests": len(batch), "plans": n_plans,
                         "passes": passes, "coalesced": self.coalesce,
-                        "seconds": seconds}
+                        "seconds": seconds, "backend": backend}
                 for item, values in zip(batch, per_request):
                     if not item.future.done():
                         item.future.set_result((values, info))
             if stopping:
                 return
 
-    def _execute_batch(self, batch: list[_Pending]) -> tuple[list[dict], int, int]:
+    def _execute_batch(
+        self, batch: list[_Pending]
+    ) -> tuple[list[dict], int, int, str]:
         """Run one batch on the worker thread; returns per-request value dicts.
 
         Coalesced: every request's outputs compile into **one** plan under
         ``(request index, output name)`` keys — the planner dedups shared fold
         partials across requests, so overlapping statistics share sweeps.
         Naive: one plan per request, sequentially (the benchmark baseline).
+        Either way every plan executes under the service's :attr:`backend`;
+        the returned name is what actually ran (``reference`` after an
+        availability fallback), for the batch info and by-backend metrics.
         """
         if self.coalesce:
             joint = {
@@ -272,19 +291,21 @@ class QueryService:
                 for name, expression in item.outputs.items()
             }
             fused = engine.plan(joint)
-            values = fused.execute()
+            values = fused.execute(backend=self.backend)
             per_request = [
                 {name: values[(index, name)] for name in item.outputs}
                 for index, item in enumerate(batch)
             ]
-            return per_request, 1, fused.n_passes
+            return per_request, 1, fused.n_passes, fused.last_execution["backend"]
         per_request = []
         passes = 0
+        executed = "reference"
         for item in batch:
             solo = engine.plan(item.outputs)
-            per_request.append(solo.execute())
+            per_request.append(solo.execute(backend=self.backend))
             passes += solo.n_passes
-        return per_request, len(batch), passes
+            executed = solo.last_execution["backend"]
+        return per_request, len(batch), passes, executed
 
 
 class ThreadedQueryService:

@@ -22,6 +22,13 @@ the fast backends the two agree within the backend's documented
 reductions should hand them to :func:`repro.engine.plan` directly and pay one
 fused sweep instead of one sweep per call (``docs/engine.md``).
 
+Every scalar reduction also takes ``backend=`` and forwards it to
+:meth:`repro.engine.Plan.execute`: the default ``None`` keeps the bit-exact
+``reference`` sweep above; a fast backend name (``"gemm"``, ``"numba"``) runs
+the fold through one compiled fused-pass kernel within the backend's
+``fused_fold_tolerance`` (``docs/engine.md``, "Compiled plans"), falling back
+to ``reference`` when unavailable.
+
 Structural operations (:func:`add`, :func:`subtract`, :func:`scale`,
 :func:`negate`) map :mod:`repro.core.ops` over the chunks and append each
 result to a new store immediately — lazy, bounded memory, and bit-identical to
@@ -74,55 +81,60 @@ __all__ = [
 
 
 # ---------------------------------------------------------------------- scalar ops
-def mean(source, *, padded: bool = True, executor=None) -> float:
+def mean(source, *, padded: bool = True, executor=None, backend=None) -> float:
     """Store-level mean (Algorithm 7), folded chunk-by-chunk.
 
     Matches :func:`repro.core.ops.mean` of the assembled array bit for bit
     (chunking-invariant fold; no error beyond compression).  ``padded`` selects
     the zero-padded (paper) or original-element-count domain.
     """
-    return engine.evaluate(expr.mean(source, padded=padded), executor=executor)
+    return engine.evaluate(expr.mean(source, padded=padded), executor=executor,
+                           backend=backend)
 
 
-def l2_norm(source, *, executor=None) -> float:
+def l2_norm(source, *, executor=None, backend=None) -> float:
     """Store-level L2 norm (Algorithm 10), folded chunk-by-chunk.
 
     Matches :func:`repro.core.ops.l2_norm` of the assembled array bit for bit;
     one square root at the end, so no per-chunk rounding is reintroduced.
     """
-    return engine.evaluate(expr.l2_norm(source), executor=executor)
+    return engine.evaluate(expr.l2_norm(source), executor=executor,
+                           backend=backend)
 
 
-def dot(a, b, *, executor=None) -> float:
+def dot(a, b, *, executor=None, backend=None) -> float:
     """Store-level dot product (Algorithm 6) of two identically chunked sources.
 
     Matches :func:`repro.core.ops.dot` of the assembled arrays bit for bit.
     The sources must agree chunk-by-chunk in shape and settings; two stores
     written with the same ``slab_rows`` satisfy this.
     """
-    return engine.evaluate(expr.dot(a, b), executor=executor)
+    return engine.evaluate(expr.dot(a, b), executor=executor,
+                           backend=backend)
 
 
-def euclidean_distance(a, b, *, executor=None) -> float:
+def euclidean_distance(a, b, *, executor=None, backend=None) -> float:
     """Store-level Euclidean distance ``‖a − b‖₂`` without writing a difference.
 
     Matches :func:`repro.core.ops.euclidean_distance` of the assembled arrays
     bit for bit — the difference is taken in coefficient space per chunk, so no
     rebinning error and no intermediate store.
     """
-    return engine.evaluate(expr.euclidean_distance(a, b), executor=executor)
+    return engine.evaluate(expr.euclidean_distance(a, b), executor=executor,
+                           backend=backend)
 
 
-def cosine_similarity(a, b, *, executor=None) -> float:
+def cosine_similarity(a, b, *, executor=None, backend=None) -> float:
     """Store-level cosine similarity (Algorithm 11) in one pass over the chunks.
 
     Matches :func:`repro.core.ops.cosine_similarity` of the assembled arrays
     bit for bit; raises ``ZeroDivisionError`` for zero-norm operands.
     """
-    return engine.evaluate(expr.cosine_similarity(a, b), executor=executor)
+    return engine.evaluate(expr.cosine_similarity(a, b), executor=executor,
+                           backend=backend)
 
 
-def variance(source, *, executor=None) -> float:
+def variance(source, *, executor=None, backend=None) -> float:
     """Store-level variance (Algorithm 9), two exact passes over the chunks.
 
     Pass 1 folds the global DC mean, pass 2 folds the squared centered
@@ -130,22 +142,25 @@ def variance(source, *, executor=None) -> float:
     in-memory, so the results match bit for bit.  The source must be
     re-iterable (a store, or a sequence of chunks).
     """
-    return engine.evaluate(expr.variance(source), executor=executor)
+    return engine.evaluate(expr.variance(source), executor=executor,
+                           backend=backend)
 
 
-def standard_deviation(source, *, executor=None) -> float:
+def standard_deviation(source, *, executor=None, backend=None) -> float:
     """Store-level standard deviation: the square root of :func:`variance`."""
-    return engine.evaluate(expr.standard_deviation(source), executor=executor)
+    return engine.evaluate(expr.standard_deviation(source), executor=executor,
+                           backend=backend)
 
 
-def covariance(a, b, *, executor=None) -> float:
+def covariance(a, b, *, executor=None, backend=None) -> float:
     """Store-level covariance (Algorithm 8), two exact passes over the chunks.
 
     Pass 1 folds each source's global DC mean, pass 2 folds the centered
     products — matching :func:`repro.core.ops.covariance` of the assembled
     arrays bit for bit.  Sources must be identically chunked and re-iterable.
     """
-    return engine.evaluate(expr.covariance(a, b), executor=executor)
+    return engine.evaluate(expr.covariance(a, b), executor=executor,
+                           backend=backend)
 
 
 # ---------------------------------------------------------------------- structural ops

@@ -1,0 +1,216 @@
+"""Property: compiled fused passes match the reference sweep within tolerance.
+
+Hypothesis sweeps 1–3 dimensional arrays, ragged chunkings and arbitrary
+non-empty subsets of the eight reductions through ``Plan.execute(backend=…)``
+and pins the compiled path's numerics contract (``docs/engine.md``,
+"Compiled plans"):
+
+* **mean is bit-identical** — the compiled ``dc`` vector is the same scalar
+  expression per block, no summation reassociation;
+* **summing folds stay within the documented tolerance** — nonnegative sums
+  (l2_norm, variance, euclidean_distance, …) within a relative
+  ``fused_fold_tolerance`` bound, mixed-sign sums (dot, covariance) within
+  the same bound scaled by the Cauchy–Schwarz magnitude ``‖a‖·‖b‖``;
+* **the reference path is untouched** — executing compiled never perturbs a
+  subsequent default execution, which stays bit-identical to the sequential
+  :mod:`repro.streaming.ops` calls under every chunking Hypothesis finds;
+* **numba degrades cleanly** — when numba is absent a ``backend="numba"``
+  request falls back to reference bit-identically (recorded in
+  ``Plan.last_execution``), and the direct numba parity sweep skips.
+"""
+
+import math
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro import engine
+from repro.core import CompressionSettings
+from repro.engine import expr
+from repro.kernels import backend_is_available
+from repro.kernels.gemm import fused_fold_tolerance
+from repro.streaming import ChunkedCompressor
+from repro.streaming import ops as stream_ops
+
+#: op name -> arity; the full fusable reduction set.
+OPERATIONS = {
+    "mean": 1,
+    "l2_norm": 1,
+    "variance": 1,
+    "standard_deviation": 1,
+    "dot": 2,
+    "covariance": 2,
+    "euclidean_distance": 2,
+    "cosine_similarity": 2,
+}
+
+#: Ops whose fold sums are nonnegative: reassociation keeps relative error
+#: at summation-order level, so a relative bound applies at any magnitude.
+NONNEGATIVE_SUM_OPS = {"l2_norm", "variance", "standard_deviation",
+                       "euclidean_distance"}
+
+
+@st.composite
+def compiled_case(draw):
+    """Two arrays (1–3D), settings, ragged chunking, and a non-empty op subset."""
+    ndim = draw(st.integers(1, 3))
+    extents = {1: (2,), 2: (2, 4), 3: (2, 2, 4)}[ndim]
+    block = draw(st.sampled_from([extents, tuple(reversed(extents))]))
+    rows = draw(st.integers(1, 24))
+    tail = tuple(draw(st.integers(1, 9)) for _ in range(ndim - 1))
+    slab_rows = draw(st.integers(1, 16))
+    float_format = draw(st.sampled_from(["bfloat16", "float32", "float64"]))
+    index_dtype = draw(st.sampled_from(["int8", "int16", "int32"]))
+    settings = CompressionSettings(
+        block_shape=block, float_format=float_format, index_dtype=index_dtype
+    )
+    subset = draw(st.sets(st.sampled_from(sorted(OPERATIONS)), min_size=1,
+                          max_size=8))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    shape = (rows,) + tail
+    a = np.cumsum(rng.standard_normal(shape), axis=0) * 0.05
+    b = np.cumsum(rng.standard_normal(shape), axis=0) * 0.05
+    return a, b, settings, slab_rows, sorted(subset)
+
+
+@contextmanager
+def _store_pair(a, b, settings, slab_rows):
+    """Self-managed temp dir + store pair (Hypothesis forbids tmp_path in @given)."""
+    with tempfile.TemporaryDirectory(prefix="engine_compiled_prop_") as tmp:
+        workdir = Path(tmp)
+        chunked = ChunkedCompressor(settings, slab_rows=slab_rows)
+        store_a = chunked.compress_to_store(a, workdir / "a.pblzc")
+        store_b = chunked.compress_to_store(b, workdir / "b.pblzc")
+        with store_a, store_b:
+            yield store_a, store_b
+
+
+def _drop_zero_norm_ops(names, store_a, store_b):
+    """cosine_similarity is undefined for zero-norm operands; drop it then."""
+    if stream_ops.l2_norm(store_a) == 0.0 or stream_ops.l2_norm(store_b) == 0.0:
+        names = [n for n in names if n != "cosine_similarity"] or ["mean"]
+    return names
+
+
+def _expressions(names, store_a, store_b) -> dict:
+    x, y = expr.source(store_a), expr.source(store_b)
+    builders = {
+        "mean": lambda: expr.mean(x),
+        "l2_norm": lambda: expr.l2_norm(x),
+        "variance": lambda: expr.variance(x),
+        "standard_deviation": lambda: expr.standard_deviation(x),
+        "dot": lambda: expr.dot(x, y),
+        "covariance": lambda: expr.covariance(x, y),
+        "euclidean_distance": lambda: expr.euclidean_distance(x, y),
+        "cosine_similarity": lambda: expr.cosine_similarity(x, y),
+    }
+    return {name: builders[name]() for name in names}
+
+
+def _assert_within_tolerance(names, compiled, reference, settings,
+                             store_a, store_b):
+    """The compiled-vs-reference numerics contract, op by op."""
+    # slack over the per-block bound: fsum combine is exact, but per-block
+    # errors accumulate across chunks relative to the gross (unsigned) sum
+    tol = 8.0 * fused_fold_tolerance(settings)
+    cauchy = (stream_ops.l2_norm(store_a) * stream_ops.l2_norm(store_b)
+              + 1e-300)
+    for name in names:
+        got, want = compiled[name], reference[name]
+        if name == "mean":
+            assert got == want, "compiled mean must be bit-identical"
+        elif name in NONNEGATIVE_SUM_OPS:
+            assert math.isclose(got, want, rel_tol=tol, abs_tol=0.0), name
+        elif name == "cosine_similarity":
+            assert abs(got - want) <= 4.0 * tol, name
+        else:  # dot, covariance: mixed-sign sums, Cauchy–Schwarz magnitude
+            assert abs(got - want) <= tol * cauchy, name
+
+
+class TestGemmCompiledParity:
+    @given(case=compiled_case())
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_any_subset_within_tolerance(self, case):
+        a, b, settings, slab_rows, names = case
+        with _store_pair(a, b, settings, slab_rows) as (store_a, store_b):
+            names = _drop_zero_norm_ops(names, store_a, store_b)
+            plan = engine.plan(_expressions(names, store_a, store_b))
+            reference = plan.execute()
+            compiled = plan.execute(backend="gemm")
+            assert plan.last_execution["backend"] == "gemm"
+            assert plan.last_execution["fallback_reason"] is None
+            # every group of every pass is leaf-source -> all compiled
+            assert plan.last_execution["interpreted_groups"] == 0
+            _assert_within_tolerance(names, compiled, reference, settings,
+                                     store_a, store_b)
+
+    @given(case=compiled_case())
+    @hyp_settings(max_examples=15, deadline=None)
+    def test_reference_unperturbed_and_chunking_invariant(self, case):
+        a, b, settings, slab_rows, names = case
+        with _store_pair(a, b, settings, slab_rows) as (store_a, store_b):
+            names = _drop_zero_norm_ops(names, store_a, store_b)
+            plan = engine.plan(_expressions(names, store_a, store_b))
+            before = plan.execute()
+            plan.execute(backend="gemm")
+            after = plan.execute()
+            # compiled execution must not perturb the bit-exact default path
+            assert after == before
+            # ... which stays bit-identical to op-by-op sequential sweeps
+            # under whatever ragged chunking Hypothesis picked
+            for name in names:
+                function = getattr(stream_ops, name)
+                sequential = (function(store_a) if OPERATIONS[name] == 1
+                              else function(store_a, store_b))
+                assert after[name] == sequential, name
+
+
+class TestNumbaCompiledPath:
+    @given(case=compiled_case())
+    @hyp_settings(max_examples=10, deadline=None)
+    def test_numba_parity_or_clean_fallback(self, case):
+        a, b, settings, slab_rows, names = case
+        with _store_pair(a, b, settings, slab_rows) as (store_a, store_b):
+            names = _drop_zero_norm_ops(names, store_a, store_b)
+            plan = engine.plan(_expressions(names, store_a, store_b))
+            reference = plan.execute()
+            via_numba = plan.execute(backend="numba")
+            stats = plan.last_execution
+            if backend_is_available("numba"):
+                assert stats["backend"] == "numba"
+                assert stats["fallback_reason"] is None
+                _assert_within_tolerance(names, via_numba, reference,
+                                         settings, store_a, store_b)
+            else:
+                # absent numba degrades to the bit-exact sweep, recorded
+                assert via_numba == reference
+                assert stats["backend"] == "reference"
+                assert "numba unavailable" in stats["fallback_reason"]
+
+    def test_numba_direct_sweep_skips_cleanly_when_absent(self, tmp_path):
+        if not backend_is_available("numba"):
+            pytest.skip("numba is not installed; compiled numba sweep "
+                        "exercised in CI where requirements-dev installs it")
+        rng = np.random.default_rng(29)
+        a = np.cumsum(rng.standard_normal((40, 12)), axis=0) * 0.05
+        b = np.cumsum(rng.standard_normal((40, 12)), axis=0) * 0.05
+        settings = CompressionSettings(
+            block_shape=(4, 4), float_format="float32", index_dtype="int16"
+        )
+        chunked = ChunkedCompressor(settings, slab_rows=8)
+        store_a = chunked.compress_to_store(a, tmp_path / "a.pblzc")
+        store_b = chunked.compress_to_store(b, tmp_path / "b.pblzc")
+        with store_a, store_b:
+            plan = engine.plan(_expressions(sorted(OPERATIONS), store_a,
+                                            store_b))
+            reference = plan.execute()
+            compiled = plan.execute(backend="numba")
+            assert plan.last_execution["backend"] == "numba"
+            assert plan.last_execution["compiled_groups"] > 0
+            _assert_within_tolerance(sorted(OPERATIONS), compiled, reference,
+                                     settings, store_a, store_b)

@@ -1,0 +1,281 @@
+"""Unit tests for the compiled fused-pass layer (:mod:`repro.engine.compile`).
+
+Covers the lowering gate (what may become one kernel, what must stay
+interpreted), the signature-keyed kernel cache, backend resolution and
+fallback recording, numerical parity of the ``gemm`` compiled path against
+the bit-exact reference sweep, the executing-backend surface in
+``Plan.describe()`` / ``Plan.last_execution``, and the ``stream-ops evaluate
+--backend … --json`` CLI contract.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.cli import main as cli_main
+from repro.core.exceptions import CodecError
+from repro.core import CompressionSettings
+from repro.engine import compile as plan_compile
+from repro.engine import expr
+from repro.kernels import backend_is_available
+from repro.streaming import ChunkedCompressor
+
+SIX_OPS = ("mean", "variance", "l2_norm", "dot", "covariance",
+           "cosine_similarity")
+
+
+def _store_pair(tmp_path, shape=(48, 20), slab_rows=8, settings=None):
+    if settings is None:
+        settings = CompressionSettings(
+            block_shape=(4, 4), float_format="float32", index_dtype="int16"
+        )
+    rng = np.random.default_rng(11)
+    a = np.cumsum(rng.standard_normal(shape), axis=0) * 0.05
+    b = np.cumsum(rng.standard_normal(shape), axis=0) * 0.05
+    chunked = ChunkedCompressor(settings, slab_rows=slab_rows)
+    return (chunked.compress_to_store(a, tmp_path / "a.pblzc"),
+            chunked.compress_to_store(b, tmp_path / "b.pblzc"))
+
+
+def _six_op_plan(store_a, store_b, backend=None):
+    x, y = expr.source(store_a), expr.source(store_b)
+    return engine.plan({
+        "mean": expr.mean(x),
+        "variance": expr.variance(x),
+        "l2_norm": expr.l2_norm(x),
+        "dot": expr.dot(x, y),
+        "covariance": expr.covariance(x, y),
+        "cosine_similarity": expr.cosine_similarity(x, y),
+    }, backend=backend)
+
+
+class TestLoweringGate:
+    def test_leaf_source_terms_lower(self):
+        program = (("source", 0), ("source", 1))
+        terms = (("square", (0,)), ("product", (0, 1)), ("dc", (1,)))
+        lowering = plan_compile.lower_terms(program, terms, (0, 1))
+        assert lowering is not None
+        assert lowering.terms == (("square", (0,)), ("product", (0, 1)),
+                                  ("dc", (1,)))
+        assert lowering.n_sources == 2
+        assert not lowering.centered
+
+    def test_centered_terms_lower_with_flag(self):
+        program = (("source", 0), ("source", 1))
+        terms = (("centered_product", (0, 1)),)
+        lowering = plan_compile.lower_terms(program, terms, (0, 1))
+        assert lowering is not None and lowering.centered
+
+    def test_structural_operand_stays_interpreted(self):
+        program = (("source", 0), ("source", 1), ("add", 0, 1))
+        terms = (("dc", (2,)),)
+        assert plan_compile.lower_terms(program, terms, (0, 1)) is None
+
+    def test_non_lowerable_fold_stays_interpreted(self):
+        program = (("source", 0), ("source", 1))
+        terms = (("similarity", (0, 1)),)
+        assert plan_compile.lower_terms(program, terms, (0, 1)) is None
+
+    def test_mixed_centered_and_uncentered_refused(self):
+        program = (("source", 0),)
+        terms = (("centered_square", (0,)), ("square", (0,)))
+        assert plan_compile.lower_terms(program, terms, (0,)) is None
+
+    def test_pruned_dc_refuses_signature(self):
+        mask = np.ones((4, 4), dtype=bool)
+        mask[0, 0] = False  # drop the DC coefficient
+        pruned = CompressionSettings(
+            block_shape=(4, 4), float_format="float32", index_dtype="int16",
+            pruning_mask=mask,
+        )
+        kept = CompressionSettings(
+            block_shape=(4, 4), float_format="float32", index_dtype="int16"
+        )
+        lowering = plan_compile.lower_terms(
+            (("source", 0),), (("dc", (0,)),), (0,)
+        )
+        assert plan_compile.signature_for(lowering, pruned) is None
+        assert plan_compile.signature_for(lowering, kept) is not None
+
+    def test_square_without_dc_lowers_even_when_pruned(self):
+        mask = np.ones((4, 4), dtype=bool)
+        mask[0, 0] = False
+        pruned = CompressionSettings(
+            block_shape=(4, 4), float_format="float32", index_dtype="int16",
+            pruning_mask=mask,
+        )
+        lowering = plan_compile.lower_terms(
+            (("source", 0),), (("square", (0,)),), (0,)
+        )
+        assert plan_compile.signature_for(lowering, pruned) is not None
+
+
+class TestKernelCache:
+    def test_cache_hit_reports_zero_compile_seconds(self, tmp_path):
+        plan_compile.clear_kernel_cache()
+        store_a, store_b = _store_pair(tmp_path)
+        with store_a, store_b:
+            plan = _six_op_plan(store_a, store_b)
+            plan.execute(backend="gemm")
+            first = dict(plan.last_execution)
+            size_after_first = plan_compile.kernel_cache_info()["size"]
+            plan.execute(backend="gemm")
+            second = dict(plan.last_execution)
+        assert first["compiled_groups"] > 0
+        assert second["compile_seconds"] == 0.0
+        # re-execution reuses every kernel: the cache did not grow
+        assert plan_compile.kernel_cache_info()["size"] == size_after_first
+        assert size_after_first == 2  # one kernel per pass of the 2-pass plan
+
+    def test_signature_captures_dtype(self):
+        lowering = plan_compile.lower_terms(
+            (("source", 0),), (("square", (0,)),), (0,)
+        )
+        signatures = {
+            plan_compile.signature_for(lowering, CompressionSettings(
+                block_shape=(4, 4), float_format="float32", index_dtype=dtype
+            ))
+            for dtype in ("int8", "int16")
+        }
+        assert len(signatures) == 2
+
+
+class TestBackendResolution:
+    def test_unknown_backend_raises(self, tmp_path):
+        store_a, store_b = _store_pair(tmp_path)
+        with store_a, store_b:
+            plan = _six_op_plan(store_a, store_b)
+            with pytest.raises(CodecError):
+                plan.execute(backend="no-such-backend")
+            with pytest.raises(CodecError):
+                engine.plan({"m": expr.mean(store_a)}, backend="no-such-backend")
+
+    def test_default_is_reference_and_recorded(self, tmp_path):
+        store_a, store_b = _store_pair(tmp_path)
+        with store_a, store_b:
+            plan = _six_op_plan(store_a, store_b)
+            plan.execute()
+            stats = plan.last_execution
+        assert stats["backend"] == "reference"
+        assert stats["fallback_reason"] is None
+        assert stats["compiled_groups"] == 0
+
+    def test_unavailable_backend_falls_back_bit_identical(self, tmp_path):
+        if backend_is_available("numba"):
+            pytest.skip("numba installed: no fallback to exercise")
+        store_a, store_b = _store_pair(tmp_path)
+        with store_a, store_b:
+            plan = _six_op_plan(store_a, store_b)
+            reference = plan.execute()
+            via_numba = plan.execute(backend="numba")
+            stats = plan.last_execution
+        assert via_numba == reference  # fell back to the bit-exact sweep
+        assert stats["backend"] == "reference"
+        assert stats["requested_backend"] == "numba"
+        assert "numba unavailable" in stats["fallback_reason"]
+
+    def test_plan_default_backend_used_when_execute_unspecified(self, tmp_path):
+        store_a, store_b = _store_pair(tmp_path)
+        with store_a, store_b:
+            plan = _six_op_plan(store_a, store_b, backend="gemm")
+            plan.execute()
+            assert plan.last_execution["backend"] == "gemm"
+            plan.execute(backend="reference")
+            assert plan.last_execution["backend"] == "reference"
+
+
+class TestCompiledParity:
+    def test_gemm_six_ops_within_tolerance_mean_bitwise(self, tmp_path):
+        store_a, store_b = _store_pair(tmp_path)
+        with store_a, store_b:
+            plan = _six_op_plan(store_a, store_b)
+            reference = plan.execute()
+            compiled = plan.execute(backend="gemm")
+            stats = plan.last_execution
+        assert stats["backend"] == "gemm"
+        assert stats["compiled_groups"] == 2
+        assert stats["interpreted_groups"] == 0
+        assert compiled["mean"] == reference["mean"]  # dc path: bit-identical
+        for name in SIX_OPS:
+            assert compiled[name] == pytest.approx(reference[name],
+                                                   rel=1e-12), name
+
+    def test_structural_group_interprets_but_matches(self, tmp_path):
+        store_a, store_b = _store_pair(tmp_path)
+        with store_a, store_b:
+            x, y = expr.source(store_a), expr.source(store_b)
+            # disjoint source sets -> two groups: the scale() group must
+            # interpret (structural rebinning), the pure-source group compiles
+            plan = engine.plan({"m": expr.mean(expr.scale(x, 2.0)),
+                                "n": expr.l2_norm(y)})
+            reference = plan.execute()
+            compiled = plan.execute(backend="gemm")
+            stats = plan.last_execution
+        assert stats["interpreted_groups"] > 0
+        assert stats["compiled_groups"] > 0
+        assert compiled["m"] == reference["m"]
+        assert compiled["n"] == pytest.approx(reference["n"], rel=1e-12)
+
+
+class TestDescribe:
+    def test_describe_names_backend_and_term_counts(self, tmp_path):
+        store_a, store_b = _store_pair(tmp_path)
+        with store_a, store_b:
+            plan = _six_op_plan(store_a, store_b)
+            text = plan.describe()
+            assert "backend=reference" in text
+            plan.execute(backend="gemm")
+            text = plan.describe()
+            assert "backend=gemm" in text
+            # 2-pass six-op plan: pass 1 folds the 5 deduplicated uncentered
+            # terms (dc x2, square x2, product), pass 2 the 2 centered terms
+            assert "pass 1: 5 term(s) in 1 group(s)" in text
+            assert "pass 2: 2 term(s) in 1 group(s)" in text
+
+    def test_describe_reflects_plan_default_backend(self, tmp_path):
+        store_a, store_b = _store_pair(tmp_path)
+        with store_a, store_b:
+            plan = _six_op_plan(store_a, store_b, backend="gemm")
+            assert "backend=gemm" in plan.describe()
+
+
+class TestCliEvaluateBackend:
+    def test_json_reports_backend_and_describe(self, tmp_path, capsys):
+        settings = CompressionSettings(
+            block_shape=(4, 4), float_format="float32", index_dtype="int16"
+        )
+        rng = np.random.default_rng(5)
+        probe = np.cumsum(rng.standard_normal((32, 12)), axis=0) * 0.05
+        chunked = ChunkedCompressor(settings, slab_rows=8)
+        chunked.compress_to_store(probe, tmp_path / "a.pblzc").close()
+        chunked.compress_to_store(probe * 0.5, tmp_path / "b.pblzc").close()
+        code = cli_main([
+            "stream-ops", "evaluate", str(tmp_path / "a.pblzc"),
+            str(tmp_path / "b.pblzc"), "--op", "mean", "--op", "variance",
+            "--op", "dot", "--backend", "gemm", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "gemm"
+        assert payload["backend_fallback"] is None
+        assert payload["compiled_groups"] == 2
+        assert payload["interpreted_groups"] == 0
+        assert payload["compile_seconds"] >= 0.0
+        assert "backend=gemm" in payload["describe"]
+        assert "pass 1:" in payload["describe"]
+        assert set(payload["operations"]) == {"mean", "variance", "dot"}
+
+    def test_backend_rejected_for_array_ops(self, tmp_path, capsys):
+        settings = CompressionSettings(
+            block_shape=(4, 4), float_format="float32", index_dtype="int16"
+        )
+        probe = np.linspace(0.0, 1.0, 32 * 12).reshape(32, 12)
+        chunked = ChunkedCompressor(settings, slab_rows=8)
+        chunked.compress_to_store(probe, tmp_path / "a.pblzc").close()
+        code = cli_main([
+            "stream-ops", "negate", str(tmp_path / "a.pblzc"),
+            "--out", str(tmp_path / "neg.pblzc"), "--backend", "gemm",
+        ])
+        assert code == 2
