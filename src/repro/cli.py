@@ -26,6 +26,10 @@ Subcommands
 ``query``             Send reduction requests (or stats/catalog probes) to a
                       running ``serve`` instance — ``--op mean:a --op dot:a,b``
                       names reductions over the server's catalog names.
+``verify-store``      Scan every chunk of a chunked store against its recorded
+                      checksums (format v3) and report per-chunk status;
+                      ``--repair-from MIRROR`` rebuilds corrupt chunks from a
+                      replica (``docs/reliability.md``).
 ``codecs``            List every registered codec with its capabilities and its
                       compression ratio on a standard 256×256 float64 probe.
 ``backends``          List every registered kernel backend (the execution
@@ -57,8 +61,12 @@ Examples
     repro stream-ops add a.pblzc b.pblzc --out sum.pblzc --workers 4
     repro stream-ops scale a.pblzc --scalar 2.5 --out scaled.pblzc
     repro serve temps=temps.pblzc wind=wind.pblzc --port 7777
+    repro serve temps=temps.pblzc --port 7777 --deadline 5 --max-in-flight 64
     repro query --port 7777 --op mean:temps --op covariance:temps,wind --json
+    repro query --port 7777 --op mean:temps --retries 3 --deadline 10
     repro query --port 7777 --stats
+    repro verify-store temps.pblzc
+    repro verify-store temps.pblzc --repair-from mirror/temps.pblzc
     repro codecs
     repro backends
     repro info output.pblz
@@ -269,6 +277,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="kernel backend executing every served plan "
                               "(default: reference; compiled backends reuse "
                               "one kernel per plan signature across requests)")
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         help="per-request wall-clock budget in seconds; a "
+                              "request whose batch overruns it gets an explicit "
+                              "deadline_exceeded response (default: none)")
+    p_serve.add_argument("--max-in-flight", type=int, default=None,
+                         help="admission cap: requests beyond this many "
+                              "concurrently queued/executing get an explicit "
+                              "overloaded response instead of queueing "
+                              "(default: unbounded)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="process-pool workers for batch execution; a "
+                              "crashed pool degrades the batch to a serial "
+                              "re-run (default: 0 = in-process serial)")
 
     p_query = sub.add_parser(
         "query",
@@ -294,6 +315,27 @@ def build_parser() -> argparse.ArgumentParser:
                               "batch coalescing info, server latency)")
     p_query.add_argument("--timeout", type=float, default=30.0,
                          help="socket timeout in seconds (default: 30)")
+    p_query.add_argument("--retries", type=int, default=None, metavar="N",
+                         help="retry transport failures (connect refused, "
+                              "reset, malformed response) up to N attempts "
+                              "with decorrelated-jitter backoff, reconnecting "
+                              "between attempts (default: fail on the first)")
+    p_query.add_argument("--deadline", type=float, default=None,
+                         help="client-side wall-clock budget in seconds for "
+                              "the whole call including retries (default: "
+                              "none)")
+
+    p_verify = sub.add_parser(
+        "verify-store",
+        help="check every chunk of a chunked store against its checksums",
+    )
+    p_verify.add_argument("store", help="chunked store file to scan")
+    p_verify.add_argument("--repair-from", metavar="MIRROR", default=None,
+                          help="replica store to copy verified-good chunk "
+                               "payloads from, rewriting the store in place "
+                               "(both must be the same codec/shape/chunking)")
+    p_verify.add_argument("--json", action="store_true",
+                          help="emit the machine-readable per-chunk report")
 
     p_codecs = sub.add_parser("codecs", help="list registered codecs and their capabilities")
     p_codecs.add_argument("--no-probe", action="store_true",
@@ -663,10 +705,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         cache = ChunkCache(args.cache_bytes)
     tick = args.tick if args.tick is not None else 0.002
+    if args.deadline is not None and args.deadline <= 0:
+        print("error: --deadline must be positive", file=sys.stderr)
+        return 2
+    if args.max_in_flight is not None and args.max_in_flight < 1:
+        print("error: --max-in-flight must be at least 1", file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print("error: --workers cannot be negative", file=sys.stderr)
+        return 2
     with StoreCatalog(mapping, cache=cache) as catalog:
         service = QueryService(catalog, tick=tick,
                                coalesce=not args.no_coalesce,
-                               backend=args.backend)
+                               backend=args.backend,
+                               deadline=args.deadline,
+                               max_in_flight=args.max_in_flight,
+                               workers=args.workers)
 
         async def run() -> None:
             host, port = await service.start(args.host, args.port)
@@ -704,6 +758,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     import json
 
     from .engine import expr
+    from .reliability import DeadlineError, RetryPolicy
     from .serving import QueryClient, ServerError
 
     if args.stats or args.catalog:
@@ -733,8 +788,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
             return 2
         op, names = parsed
         outputs[spec] = builders[op]([expr.source(name) for name in names])
+    if args.retries is not None and args.retries < 1:
+        print("error: --retries must be at least 1", file=sys.stderr)
+        return 2
+    if args.deadline is not None and args.deadline <= 0:
+        print("error: --deadline must be positive", file=sys.stderr)
+        return 2
+    retry = RetryPolicy(attempts=args.retries) if args.retries else None
     try:
-        with QueryClient(args.host, args.port, timeout=args.timeout) as client:
+        with QueryClient(args.host, args.port, timeout=args.timeout,
+                         retry=retry, deadline=args.deadline) as client:
             if args.stats:
                 print(json.dumps(client.stats(), indent=2))
                 return 0
@@ -744,6 +807,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
             full = client.evaluate_full(outputs)
     except ServerError as exc:
         print(f"error: server rejected the request: {exc}", file=sys.stderr)
+        return 2
+    except DeadlineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     except (ConnectionError, OSError) as exc:
         print(f"error: cannot reach {args.host}:{args.port}: {exc}",
@@ -758,6 +824,38 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"(batch: {batch['requests']} request(s) -> {batch['plans']} "
               f"plan(s), {batch['passes']} pass(es))")
     return 0
+
+
+def _cmd_verify_store(args: argparse.Namespace) -> int:
+    """Scan a store's chunks against their checksums; optionally repair.
+
+    Exit 0 when every chunk verifies (including after a successful repair),
+    ``CODEC_ERROR_EXIT`` when corruption remains — so scripts can gate on
+    ``repro verify-store`` before trusting a store.
+    """
+    import json
+
+    from .reliability import repair_store, verify_store
+
+    try:
+        if not _is_store(args.store):
+            print(f"error: {args.store!r} is not a chunked store", file=sys.stderr)
+            return 2
+    except OSError as exc:
+        print(f"error: cannot read store {args.store!r}: {exc}", file=sys.stderr)
+        return 2
+    report = verify_store(args.store)
+    if args.repair_from is not None and not report.ok:
+        repaired = repair_store(args.store, args.repair_from)
+        spliced = [c.index for c in repaired.chunks if c.source == "mirror"]
+        print(f"repaired {len(spliced)} chunk(s) from {args.repair_from}: "
+              f"{', '.join(map(str, spliced))}", file=sys.stderr)
+        report = verify_store(args.store)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    return 0 if report.ok else CODEC_ERROR_EXIT
 
 
 def _probe_field() -> np.ndarray:
@@ -867,6 +965,7 @@ def main(argv: list[str] | None = None) -> int:
         "stream-ops": _cmd_stream_ops,
         "serve": _cmd_serve,
         "query": _cmd_query,
+        "verify-store": _cmd_verify_store,
         "codecs": _cmd_codecs,
         "backends": _cmd_backends,
         "info": _cmd_info,

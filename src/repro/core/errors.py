@@ -24,13 +24,14 @@ import numpy as np
 
 from .binning import index_radius
 from .compressed import CompressedArray
-from .exceptions import CodecError
+from .exceptions import CodecError, IntegrityError
 from .settings import CompressionSettings
 from .transforms import get_transform
 from .blocking import block_array
 
 __all__ = [
     "CodecError",
+    "IntegrityError",
     "binning_error_bound",
     "pruning_error",
     "linf_error_bound",

@@ -8,7 +8,7 @@ error-bound analysis, which is where user code is documented to find it.
 
 from __future__ import annotations
 
-__all__ = ["CodecError"]
+__all__ = ["CodecError", "IntegrityError"]
 
 
 class CodecError(ValueError):
@@ -23,3 +23,34 @@ class CodecError(ValueError):
     interfaces (which raised a mix of ``ValueError``/``TypeError``) keeps
     working unchanged.
     """
+
+
+class IntegrityError(CodecError):
+    """Stored bytes failed an integrity check (checksum or length mismatch).
+
+    Raised by :class:`repro.streaming.CompressedStore` when a version-3 chunk
+    record (or the chunk table itself) does not match the checksum the writer
+    recorded — a flipped bit, a short read, a torn write.  The message always
+    names the store path and, for chunk records, the chunk index, which the
+    ``repro verify-store`` CLI and the repair path rely on.
+
+    Subclasses :class:`CodecError`, so every existing "corrupt store → exit 3"
+    contract keeps holding; callers that care about the *detected corruption*
+    case specifically (rather than any codec failure) can catch this type and
+    read :attr:`path` / :attr:`chunk_index`.
+
+    Attributes
+    ----------
+    path:
+        The store file the corrupt bytes were read from (string, or None when
+        unknown).
+    chunk_index:
+        Index of the corrupt chunk record, or ``None`` when the chunk table
+        itself failed verification.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 chunk_index: int | None = None):
+        super().__init__(message)
+        self.path = path
+        self.chunk_index = chunk_index

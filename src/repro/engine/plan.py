@@ -60,6 +60,7 @@ from typing import Mapping
 from ..core import ops as core_ops
 from ..core.ops import folds
 from ..kernels import DEFAULT_BACKEND
+from ..reliability import faults
 from ..streaming.sources import aligned_chunks, check_stores, require_pyblaz
 from ..streaming.store import CompressedStore
 from . import compile as plan_compile
@@ -172,8 +173,13 @@ def _plan_pass_job(program: tuple, paths: tuple, terms: tuple, extras: tuple,
             if signature is not None:
                 kernel, _ = plan_compile.get_pass_kernel(backend, signature)
                 if kernel is not None:
-                    return plan_compile.run_compiled_step(kernel, lowering,
-                                                          chunks, extras)
+                    try:
+                        return plan_compile.run_compiled_step(kernel, lowering,
+                                                              chunks, extras)
+                    except Exception:
+                        # a kernel runtime failure degrades this job to the
+                        # interpreted path — the decoded chunks are untouched
+                        pass
     return _evaluate_chunk_terms(program, values, terms, extras)
 
 
@@ -252,8 +258,12 @@ class Plan:
         (``None`` → resolve from source settings, else ``reference``).
     last_execution:
         After :meth:`execute`: a dict recording the resolved ``backend``, any
-        availability ``fallback_reason``, per-mode group counts
-        (``compiled_groups``/``interpreted_groups``) and the JIT
+        ``fallback_reason`` (backend unavailable at resolve time, or a
+        compiled kernel failing at runtime mid-sweep), per-mode group counts
+        (``compiled_groups``/``interpreted_groups``), the number of
+        ``runtime_fallbacks`` (compiled groups that degraded to the
+        interpreter mid-run — the interpreted path resumed the same decoded
+        chunks, so the scalars are still correct) and the JIT
         ``compile_seconds`` spent this run (0.0 on warm kernel-cache hits).
         ``None`` before the first execution.
     """
@@ -466,17 +476,33 @@ class Plan:
                                 backend, signature
                             )
                             run_stats["compile_seconds"] += seconds
+                    states = None
                     if kernel is not None:
-                        states = plan_compile.run_compiled_step(
-                            kernel, lowering, chunks, group_extras
-                        )
-                        chunks = None
-                    else:
+                        try:
+                            fault = faults.active_plan()
+                            if fault is not None:
+                                fault.check_compiled_kernel()
+                            states = plan_compile.run_compiled_step(
+                                kernel, lowering, chunks, group_extras
+                            )
+                        except Exception as exc:
+                            # degrade, don't fail: the decoded chunks are
+                            # untouched, so the interpreted path below resumes
+                            # this chunk and finishes the group bit-exactly
+                            kernel = None
+                            run_stats["runtime_fallbacks"] += 1
+                            run_stats["fallback_reason"] = (
+                                f"compiled {backend} kernel failed at runtime "
+                                f"({exc}); interpreting the rest of this group"
+                            )
+                    if states is None:
                         values = dict(zip(slots, chunks))
                         chunks = None  # the step owns the chunks now
                         states = _evaluate_chunk_terms(self._program, values,
                                                        group.terms, group_extras)
                         values = None  # drop coefficients before the next decode
+                    else:
+                        chunks = None
                     for bucket, state in zip(collected, states):
                         bucket.append(state)
                 run_stats["compiled_groups" if kernel is not None
@@ -516,6 +542,7 @@ class Plan:
             "fallback_reason": fallback,
             "compiled_groups": 0,
             "interpreted_groups": 0,
+            "runtime_fallbacks": 0,
             "compile_seconds": 0.0,
         }
         states: dict = {}

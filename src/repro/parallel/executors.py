@@ -17,8 +17,11 @@ single-threaded Blaz.
 from __future__ import annotations
 
 import abc
+import os
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pickle import PicklingError
 from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
@@ -26,6 +29,8 @@ import numpy as np
 from ..core.settings import CompressionSettings
 from ..core.transforms import Transform, get_transform
 from ..kernels import DEFAULT_BACKEND, get_backend
+from ..reliability import faults
+from ..reliability.errors import WorkerCrashError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..kernels import KernelBackend
@@ -173,33 +178,89 @@ def _kernel_chunk(
     return kernel.transform_and_bin(chunk, transform, settings)
 
 
+def _pool_failure(exc: BaseException, index: int | None, n_jobs: int) -> WorkerCrashError:
+    """Build the documented :class:`WorkerCrashError` for a broken pool.
+
+    When a worker dies, *every* outstanding future fails at once, so ``index``
+    is the first job observed to fail — the crash may have happened in any
+    concurrently running job.
+    """
+    detail = (
+        "its payload failed to pickle" if isinstance(exc, PicklingError)
+        else "a worker process died"
+    )
+    where = (
+        f"at job {index} of {n_jobs}" if index is not None
+        else f"dispatching {n_jobs} jobs"
+    )
+    return WorkerCrashError(
+        f"process pool failed {where}: {detail} ({exc}); the batch is lost — "
+        "retry it, or rerun with a serial or threaded executor",
+        job_index=index,
+        n_jobs=n_jobs,
+    )
+
+
+def _crashable_job(crash: bool, fn, *args):
+    """Picklable wrapper the fault harness uses to kill a worker mid-batch."""
+    if crash:
+        os._exit(13)  # a hard worker death, not an exception the pool can catch
+    return fn(*args)
+
+
+def _armed_jobs(fn, jobs: list):
+    """Apply any active worker-crash fault rules to a pooled job batch.
+
+    Returns ``(fn, jobs)`` unchanged in the normal case (no plan installed).
+    Only called on the genuinely pooled path — the ≤1-job batches that degrade
+    to the calling thread must never arm a crash, which would kill the caller.
+    """
+    plan = faults.active_plan()
+    if plan is None:
+        return fn, jobs
+    flags = [plan.take_worker_crash(index) for index in range(len(jobs))]
+    if not any(flags):
+        return fn, jobs
+    return _crashable_job, [
+        (flag, fn) + tuple(args) for flag, args in zip(flags, jobs)
+    ]
+
+
 def _imap_ordered(pool_cls, n_workers: int, fn, jobs, window: int | None):
     """Shared bounded-window ordered pipeline for the pooled ``imap_jobs``.
 
     Keeps at most ``window`` futures outstanding (default ``2 × n_workers``:
     enough to hide scheduling latency, small enough to bound result memory)
     and yields strictly in job order.  A single job degrades to the calling
-    thread, like the pooled ``map_jobs``.
+    thread, like the pooled ``map_jobs``.  A broken process pool surfaces as
+    the typed :class:`WorkerCrashError` naming the first failed job.
     """
     jobs = list(jobs)
     if len(jobs) <= 1:
         for args in jobs:
             yield fn(*args)
         return
+    if pool_cls is ProcessPoolExecutor:
+        fn, jobs = _armed_jobs(fn, jobs)
     window = max(2, window if window is not None else 2 * n_workers)
-    with pool_cls(max_workers=n_workers) as pool:
-        pending: deque = deque()
-        iterator = iter(jobs)
-        for args in iterator:
-            pending.append(pool.submit(fn, *args))
-            if len(pending) >= window:
-                break
-        while pending:
-            result = pending.popleft().result()
-            for args in iterator:  # refill one slot before yielding
-                pending.append(pool.submit(fn, *args))
-                break
-            yield result
+    index: int | None = None
+    try:
+        with pool_cls(max_workers=n_workers) as pool:
+            pending: deque = deque()
+            iterator = iter(enumerate(jobs))
+            for index, args in iterator:
+                pending.append((index, pool.submit(fn, *args)))
+                if len(pending) >= window:
+                    break
+            while pending:
+                index, future = pending.popleft()
+                result = future.result()
+                for next_index, args in iterator:  # refill one slot before yielding
+                    pending.append((next_index, pool.submit(fn, *args)))
+                    break
+                yield result
+    except (BrokenProcessPool, PicklingError) as exc:
+        raise _pool_failure(exc, index, len(jobs)) from exc
 
 
 class _ChunkingExecutor(BlockExecutor):
@@ -340,27 +401,41 @@ class ProcessExecutor(_ChunkingExecutor):
             for sl, args in jobs:
                 write(sl, _kernel_chunk(*args))
             return
-        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-            futures = {
-                pool.submit(
-                    _kernel_chunk, *args[:-1], np.ascontiguousarray(args[-1])
-                ): sl
-                for sl, args in jobs
-            }
-            for future, sl in futures.items():
-                write(sl, future.result())
+        try:
+            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                futures = {
+                    pool.submit(
+                        _kernel_chunk, *args[:-1], np.ascontiguousarray(args[-1])
+                    ): sl
+                    for sl, args in jobs
+                }
+                for future, sl in futures.items():
+                    write(sl, future.result())
+        except (BrokenProcessPool, PicklingError) as exc:
+            raise _pool_failure(exc, None, len(jobs)) from exc
 
     def map_jobs(self, fn, jobs):
         """Fan ``fn(*args)`` jobs out over worker processes; results in job order.
 
         ``fn`` and every job argument must be picklable; results come back in
-        job order regardless of completion order.
+        job order regardless of completion order.  A worker crash or a payload
+        that fails to pickle surfaces as :class:`WorkerCrashError` naming the
+        first failed job index, instead of the raw pool internals.
         """
+        jobs = list(jobs)
         if len(jobs) <= 1:
             return [fn(*args) for args in jobs]
-        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-            futures = [pool.submit(fn, *args) for args in jobs]
-            return [future.result() for future in futures]
+        fn, jobs = _armed_jobs(fn, jobs)
+        index: int | None = None
+        try:
+            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                futures = [pool.submit(fn, *args) for args in jobs]
+                results = []
+                for index, future in enumerate(futures):
+                    results.append(future.result())
+                return results
+        except (BrokenProcessPool, PicklingError) as exc:
+            raise _pool_failure(exc, index, len(jobs)) from exc
 
     def imap_jobs(self, fn, jobs, window: int | None = None):
         """Bounded-window ordered fan-out over worker processes (picklable jobs)."""

@@ -1,0 +1,56 @@
+"""Fault tolerance: integrity checks, retries/deadlines, fault injection.
+
+This package holds the reliability contract for the storage and serving
+layers (``docs/reliability.md``):
+
+* :mod:`~repro.reliability.errors` — the typed failure vocabulary
+  (:class:`IntegrityError`, :class:`WorkerCrashError`, :class:`DeadlineError`).
+* :mod:`~repro.reliability.retry` — decorrelated-jitter backoff under a
+  deadline budget (:class:`RetryPolicy`, :class:`Deadline`,
+  :func:`retry_call`), wired into store record reads and the query client.
+* :mod:`~repro.reliability.faults` — the deterministic fault-injection
+  harness (:class:`FaultPlan`) the chaos test suite drives.
+* :mod:`~repro.reliability.verify` — store scanning and chunk-level repair
+  (:func:`verify_store`, :func:`repair_store`), behind ``repro verify-store``.
+
+``verify`` is imported lazily: it needs :mod:`repro.streaming`, which itself
+imports the retry and fault modules, and an eager import here would close
+that cycle mid-initialisation.
+"""
+
+from __future__ import annotations
+
+from .errors import CodecError, DeadlineError, IntegrityError, WorkerCrashError
+from .faults import FaultPlan, FaultRule, active_plan, inject, install, uninstall
+from .retry import DEFAULT_READ_RETRY, Deadline, RetryPolicy, retry_call
+
+__all__ = [
+    "CodecError",
+    "IntegrityError",
+    "WorkerCrashError",
+    "DeadlineError",
+    "RetryPolicy",
+    "Deadline",
+    "retry_call",
+    "DEFAULT_READ_RETRY",
+    "FaultPlan",
+    "FaultRule",
+    "install",
+    "uninstall",
+    "active_plan",
+    "inject",
+    "ChunkReport",
+    "StoreReport",
+    "verify_store",
+    "repair_store",
+]
+
+_LAZY = ("ChunkReport", "StoreReport", "verify_store", "repair_store")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import verify
+
+        return getattr(verify, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,225 @@
+"""Store scanning and repair: the engine behind ``repro verify-store``.
+
+:func:`verify_store` walks every chunk record of a store — reading, checksum-
+verifying (format v3) and decoding each — and returns a :class:`StoreReport`
+naming exactly which chunks are corrupt.  :func:`repair_store` rebuilds a
+store by splicing, chunk by chunk, the first good record found in the target
+or a mirror replica, publishing the result atomically as a version-3 file.
+
+Imported lazily from :mod:`repro.reliability` (these functions need
+:mod:`repro.streaming`, which itself imports the retry/fault modules — a cycle
+if this module loaded eagerly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from ..core.exceptions import CodecError, IntegrityError
+
+__all__ = ["ChunkReport", "StoreReport", "verify_store", "repair_store"]
+
+
+@dataclass
+class ChunkReport:
+    """Verification outcome for one chunk record."""
+
+    index: int
+    n_rows: int
+    status: str  # "ok" or "corrupt"
+    error: Optional[str] = None
+    #: set by repair: where the good bytes came from ("store" or "mirror")
+    source: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when this chunk read, checksum-verified and decoded."""
+        return self.status == "ok"
+
+    def describe(self) -> str:
+        """One greppable report line, e.g. ``chunk 1: CORRUPT — ...``."""
+        line = f"chunk {self.index}: {'OK' if self.ok else 'CORRUPT'}"
+        if self.source == "mirror":
+            line += " (repaired from mirror)"
+        if self.error:
+            line += f" — {self.error}"
+        return line
+
+
+@dataclass
+class StoreReport:
+    """Verification outcome for a whole store file."""
+
+    path: str
+    version: int
+    codec_name: str
+    shape: tuple
+    chunks: List[ChunkReport] = field(default_factory=list)
+    #: non-None when the header/table itself failed verification
+    table_error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the table and every chunk verified."""
+        return self.table_error is None and all(chunk.ok for chunk in self.chunks)
+
+    @property
+    def corrupt_chunks(self) -> List[int]:
+        """Indices of every chunk that failed verification, in file order."""
+        return [chunk.index for chunk in self.chunks if not chunk.ok]
+
+    def describe(self) -> str:
+        """The multi-line human report ``repro verify-store`` prints."""
+        lines = [
+            f"{self.path}: store format v{self.version}, codec {self.codec_name}, "
+            f"shape {self.shape}, {len(self.chunks)} chunks"
+        ]
+        if self.table_error:
+            lines.append(f"chunk table: CORRUPT — {self.table_error}")
+        lines.extend(chunk.describe() for chunk in self.chunks)
+        n_bad = len(self.corrupt_chunks)
+        lines.append(
+            "store OK" if self.ok else f"store CORRUPT ({n_bad} bad chunk(s))"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """The JSON-ready form behind ``repro verify-store --json``."""
+        return {
+            "path": self.path,
+            "version": self.version,
+            "codec": self.codec_name,
+            "shape": list(self.shape),
+            "ok": self.ok,
+            "table_error": self.table_error,
+            "chunks": [
+                {
+                    "index": chunk.index,
+                    "n_rows": chunk.n_rows,
+                    "status": chunk.status,
+                    "error": chunk.error,
+                    "source": chunk.source,
+                }
+                for chunk in self.chunks
+            ],
+        }
+
+
+def _open_unretried(path):
+    """Open a store with retries off: a scan must see every failure, once."""
+    from ..streaming.store import CompressedStore
+
+    return CompressedStore(path, retry_policy=None)
+
+
+def verify_store(path) -> StoreReport:
+    """Scan every chunk of the store at ``path`` and report per-chunk status.
+
+    Each chunk record is read, checksum-verified (v3) and decoded; a failure
+    of any stage marks that chunk corrupt with the error message, and the
+    scan continues so the report names *all* bad chunks.  A corrupt header or
+    chunk table is reported as ``table_error`` with no per-chunk entries
+    (nothing after it can be trusted).
+    """
+    path = Path(path)
+    try:
+        store = _open_unretried(path)
+    except (CodecError, OSError) as exc:
+        return StoreReport(
+            path=str(path), version=0, codec_name="?", shape=(),
+            table_error=str(exc),
+        )
+    with store:
+        report = StoreReport(
+            path=str(path), version=store.version,
+            codec_name=store.codec_name, shape=tuple(store.shape),
+        )
+        for index, n_rows in enumerate(store.chunk_rows):
+            try:
+                chunk = store._decode_chunk(index)
+                store.decompress_chunk(chunk)
+                report.chunks.append(ChunkReport(index=index, n_rows=n_rows, status="ok"))
+            except (CodecError, OSError) as exc:
+                report.chunks.append(
+                    ChunkReport(index=index, n_rows=n_rows, status="corrupt", error=str(exc))
+                )
+    return report
+
+
+def _good_payload(store, index: int) -> bytes:
+    """Chunk ``index``'s raw record bytes, decode-verified (raises on corrupt)."""
+    from ..codecs.registry import get_codec_class
+
+    payload = store.read_payload(index)  # v3: checksum-verified
+    get_codec_class(store.codec_name).from_bytes(payload)  # decode-verified
+    return payload
+
+
+def repair_store(path, mirror) -> StoreReport:
+    """Rebuild the store at ``path``, taking bad chunks from ``mirror``.
+
+    For every chunk the first good record wins: the target's own bytes when
+    they verify, the mirror replica's otherwise.  The result is written as a
+    format-v3 store and atomically replaces ``path``; the mirror is never
+    modified.  Raises :class:`CodecError` when a chunk is corrupt in *both*
+    copies (nothing trustworthy to splice), or when the two stores are not
+    replicas of the same array (codec, shape or chunking differ).
+
+    Both stores must be format v2 or v3 — their records are self-describing
+    codec streams that can be copied verbatim.  Version-1 records are raw
+    settings-dependent blobs in an incompatible table layout; rewrite those
+    stores with the current writer instead.
+    """
+    from ..codecs.registry import get_codec
+    from ..streaming.store import CompressedStoreWriter
+
+    path = Path(path)
+    with _open_unretried(path) as store, _open_unretried(mirror) as replica:
+        if store.version < 2 or replica.version < 2:
+            raise CodecError(
+                "repair needs format v2+ stores (self-describing chunk records); "
+                f"got v{store.version} target and v{replica.version} mirror"
+            )
+        if store.codec_name != replica.codec_name:
+            raise CodecError(
+                f"mirror holds {replica.codec_name!r} chunks, store holds "
+                f"{store.codec_name!r}; not replicas"
+            )
+        if tuple(store.shape) != tuple(replica.shape) or (
+            store.chunk_rows != replica.chunk_rows
+        ):
+            raise CodecError(
+                f"mirror shape/chunking {replica.shape}/{replica.chunk_rows} does "
+                f"not match store {store.shape}/{store.chunk_rows}; not replicas"
+            )
+        report = StoreReport(
+            path=str(path), version=3, codec_name=store.codec_name,
+            shape=tuple(store.shape),
+        )
+        records: list[tuple[bytes, int]] = []
+        for index, n_rows in enumerate(store.chunk_rows):
+            try:
+                payload = _good_payload(store, index)
+                source, error = "store", None
+            except (CodecError, OSError) as first:
+                try:
+                    payload = _good_payload(replica, index)
+                    source, error = "mirror", str(first)
+                except (CodecError, OSError) as second:
+                    raise CodecError(
+                        f"chunk {index} is corrupt in both the store "
+                        f"({first}) and the mirror ({second}); cannot repair"
+                    ) from second
+            records.append((payload, n_rows))
+            report.chunks.append(
+                ChunkReport(index=index, n_rows=n_rows, status="ok",
+                            error=error, source=source)
+            )
+        tail_shape = tuple(store.shape[1:])
+        codec = get_codec(store.codec_name)
+    with CompressedStoreWriter(path, codec) as writer:
+        for payload, n_rows in records:
+            writer.append_record(payload, n_rows, tail_shape=tail_shape)
+    return report

@@ -101,6 +101,14 @@ class StoreCatalog:
         self._owned.add(name)
         return store
 
+    def open_stores(self) -> tuple[CompressedStore, ...]:
+        """Every store currently open (touched by a query or adopted).
+
+        Opens nothing; the metrics layer uses this to sum per-store reliability
+        counters (``read_retries``) without forcing cold stores open.
+        """
+        return tuple(self._open.values())
+
     def describe(self) -> dict:
         """JSON-ready catalog listing: per name, path plus geometry if open.
 

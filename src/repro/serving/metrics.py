@@ -37,14 +37,17 @@ class ServiceMetrics:
     """Thread-safe counters + latency reservoir behind the stats endpoint."""
 
     def __init__(self, cache: ChunkCache | None = None,
-                 latency_window: int = _LATENCY_WINDOW):
+                 latency_window: int = _LATENCY_WINDOW, catalog=None):
         self.cache = cache
+        self.catalog = catalog
         self._lock = threading.Lock()
         self._started = time.monotonic()
         self._latencies: deque[float] = deque(maxlen=latency_window)
         self.requests_received = 0
         self.requests_served = 0
         self.requests_failed = 0
+        self.requests_overloaded = 0
+        self.requests_deadline_exceeded = 0
         self.plans_executed = 0
         self.plan_passes_total = 0
         self.plan_seconds_total = 0.0
@@ -52,6 +55,7 @@ class ServiceMetrics:
         self.batched_requests = 0
         self.max_batch = 0
         self.plans_by_backend: Counter = Counter()
+        self.degradations: Counter = Counter()
 
     # ------------------------------------------------------------------ recording
     def record_received(self) -> None:
@@ -63,6 +67,30 @@ class ServiceMetrics:
         """An evaluate request ended in an error response."""
         with self._lock:
             self.requests_failed += 1
+
+    def record_overloaded(self) -> None:
+        """An evaluate request was rejected by max-in-flight backpressure."""
+        with self._lock:
+            self.requests_failed += 1
+            self.requests_overloaded += 1
+
+    def record_deadline_exceeded(self) -> None:
+        """An evaluate request timed out waiting for its batch's results."""
+        with self._lock:
+            self.requests_failed += 1
+            self.requests_deadline_exceeded += 1
+
+    def record_degradation(self, kind: str) -> None:
+        """One plan degraded instead of failing (the degradation ladder).
+
+        ``kind`` names the rung taken: ``"compiled_to_interpreted"`` (a
+        compiled kernel failed at runtime, the interpreter finished the sweep)
+        or ``"process_to_serial"`` (the process pool crashed, the plan re-ran
+        serially).  Surfaced by :meth:`snapshot` under ``reliability`` — the
+        observable proof that serving degraded rather than erroring.
+        """
+        with self._lock:
+            self.degradations[kind] += 1
 
     def record_served(self, latency_seconds: float) -> None:
         """An evaluate request got its results; latency measured at the server."""
@@ -118,7 +146,16 @@ class ServiceMetrics:
                     "by_backend": dict(self.plans_by_backend),
                 },
                 "latency_seconds": latency,
+                "reliability": {
+                    "overloaded": self.requests_overloaded,
+                    "deadline_exceeded": self.requests_deadline_exceeded,
+                    "degradations": dict(self.degradations),
+                },
             }
+        if self.catalog is not None:
+            snapshot["reliability"]["store_read_retries"] = sum(
+                store.read_retries for store in self.catalog.open_stores()
+            )
         if self.cache is not None:
             snapshot["cache"] = self.cache.snapshot()
         return snapshot

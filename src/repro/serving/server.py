@@ -44,7 +44,9 @@ from typing import Any
 from .. import engine
 from ..core.exceptions import CodecError
 from ..engine.wire import WIRE_VERSION, WireError, request_from_wire
+from ..reliability.errors import WorkerCrashError
 from .catalog import StoreCatalog
+from .client import ServerError
 from .metrics import ServiceMetrics
 
 __all__ = ["QueryService", "ThreadedQueryService", "DEFAULT_TICK_SECONDS"]
@@ -88,13 +90,34 @@ class QueryService:
         one kernel across requests and ticks.  Unknown names raise here, at
         construction; a known-but-unavailable backend falls back to
         ``reference`` per plan (recorded in the metrics by-backend counts).
+    deadline:
+        Optional per-request budget in seconds: a request still waiting for
+        its batch past this answers ``{"ok": false, "deadline_exceeded":
+        true}`` instead of hanging the client (the batch keeps running for
+        its other requests).
+    max_in_flight:
+        Optional backpressure bound: evaluate requests beyond this many
+        concurrently in flight are rejected immediately with ``{"ok": false,
+        "overloaded": true}`` — an explicit signal the client can back off
+        on, never a hang.
+    workers:
+        When positive, batches execute through a
+        :class:`repro.parallel.ProcessExecutor` with this many worker
+        processes; a crashed pool degrades the batch to serial execution
+        (recorded in the metrics degradation counters) instead of failing it.
+        ``0`` (default) executes serially on the worker thread.
     """
 
     def __init__(self, catalog: StoreCatalog, *, tick: float = DEFAULT_TICK_SECONDS,
                  coalesce: bool = True, metrics: ServiceMetrics | None = None,
-                 backend: str | None = None):
+                 backend: str | None = None, deadline: float | None = None,
+                 max_in_flight: int | None = None, workers: int = 0):
         if tick < 0:
             raise ValueError("tick must be non-negative")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1 (or None)")
         if backend is not None:
             from ..kernels import get_backend_class
             get_backend_class(str(backend).lower())  # fail fast on unknown names
@@ -102,14 +125,23 @@ class QueryService:
         self.tick = float(tick)
         self.coalesce = bool(coalesce)
         self.backend = backend
+        self.deadline = deadline
+        self.max_in_flight = max_in_flight
         self.metrics = metrics if metrics is not None else ServiceMetrics(
-            cache=catalog.cache
+            cache=catalog.cache, catalog=catalog
         )
+        if workers > 0:
+            from ..parallel import ProcessExecutor
+            self._executor = ProcessExecutor(n_workers=workers)
+        else:
+            self._executor = None
         self._queue: "asyncio.Queue[_Pending | None]" = asyncio.Queue()
         self._pool = ThreadPoolExecutor(max_workers=1,
                                         thread_name_prefix="repro-serving-plan")
         self._server: asyncio.AbstractServer | None = None
         self._scheduler_task: asyncio.Task | None = None
+        self._in_flight = 0  # event-loop-only state, no lock needed
+        self._stopping = False
 
     # ------------------------------------------------------------------ lifecycle
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
@@ -144,7 +176,14 @@ class QueryService:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
-        """Stop listening, drain the scheduler, shut the worker pool down."""
+        """Stop listening, drain in-flight batches, shut the worker pool down.
+
+        Graceful: requests already queued before the stop keep their place —
+        the scheduler executes them as its final batch and answers them —
+        while requests arriving after the stop began are rejected with a
+        clean ``server is shutting down`` error instead of being dropped.
+        """
+        self._stopping = True  # new evaluates answer "shutting down" from here
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -153,6 +192,17 @@ class QueryService:
             await self._queue.put(None)  # wake the scheduler into its exit path
             await self._scheduler_task
             self._scheduler_task = None
+        # fail anything that raced into the queue behind the sentinel, so no
+        # awaiting handler hangs forever on an orphaned future
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is not None and not item.future.done():
+                item.future.set_exception(
+                    ValueError("server shut down before this request ran")
+                )
         self._pool.shutdown(wait=True)
 
     # ------------------------------------------------------------------ connections
@@ -201,9 +251,25 @@ class QueryService:
         return {**base, **(await self._evaluate(message))}
 
     async def _evaluate(self, message: dict) -> dict:
-        """Validate one evaluate request, enqueue it, await its batch's results."""
+        """Validate one evaluate request, enqueue it, await its batch's results.
+
+        The reliability gates run in order: a stopping server rejects cleanly,
+        a full server answers ``overloaded`` immediately (backpressure, never
+        a hang), and a request whose batch outlives the per-request
+        ``deadline`` answers ``deadline_exceeded`` while the batch finishes
+        for everyone else.
+        """
         self.metrics.record_received()
         received = time.perf_counter()
+        if self._stopping:
+            self.metrics.record_failed()
+            return {"ok": False, "error": "server is shutting down"}
+        if self.max_in_flight is not None and self._in_flight >= self.max_in_flight:
+            self.metrics.record_overloaded()
+            return {"ok": False, "overloaded": True,
+                    "error": f"overloaded: {self._in_flight} request(s) already "
+                             f"in flight (limit {self.max_in_flight}); "
+                             "back off and retry"}
         try:
             outputs = request_from_wire(message.get("outputs"),
                                         resolve=self.catalog.get)
@@ -216,13 +282,31 @@ class QueryService:
         except (WireError, CodecError, TypeError, ValueError) as exc:
             self.metrics.record_failed()
             return {"ok": False, "error": str(exc)}
-        future = asyncio.get_running_loop().create_future()
-        await self._queue.put(_Pending(outputs, future))
+        self._in_flight += 1
         try:
-            values, batch_info = await future
-        except (CodecError, ValueError, ZeroDivisionError) as exc:
-            self.metrics.record_failed()
-            return {"ok": False, "error": f"batch execution failed: {exc}"}
+            future = asyncio.get_running_loop().create_future()
+            await self._queue.put(_Pending(outputs, future))
+            try:
+                if self.deadline is not None:
+                    values, batch_info = await asyncio.wait_for(
+                        future, timeout=self.deadline
+                    )
+                else:
+                    values, batch_info = await future
+            except asyncio.TimeoutError:
+                # wait_for cancelled the future; the scheduler skips done or
+                # cancelled futures, so the batch completes for everyone else
+                self.metrics.record_deadline_exceeded()
+                return {"ok": False, "deadline_exceeded": True,
+                        "error": f"request exceeded the {self.deadline:g}s "
+                                 "deadline; the server may be overloaded"}
+            except Exception as exc:
+                # every batch failure becomes a clean error response — an
+                # unexpected exception type must not kill the connection
+                self.metrics.record_failed()
+                return {"ok": False, "error": f"batch execution failed: {exc}"}
+        finally:
+            self._in_flight -= 1
         latency = time.perf_counter() - received
         self.metrics.record_served(latency)
         return {"ok": True, "results": values, "batch": batch_info,
@@ -283,6 +367,9 @@ class QueryService:
         Either way every plan executes under the service's :attr:`backend`;
         the returned name is what actually ran (``reference`` after an
         availability fallback), for the batch info and by-backend metrics.
+        Each plan runs through :meth:`_run_plan`'s degradation ladder, so a
+        crashed process pool or a failing compiled kernel degrades the batch
+        instead of failing it.
         """
         if self.coalesce:
             joint = {
@@ -291,7 +378,7 @@ class QueryService:
                 for name, expression in item.outputs.items()
             }
             fused = engine.plan(joint)
-            values = fused.execute(backend=self.backend)
+            values = self._run_plan(fused)
             per_request = [
                 {name: values[(index, name)] for name in item.outputs}
                 for index, item in enumerate(batch)
@@ -302,10 +389,37 @@ class QueryService:
         executed = "reference"
         for item in batch:
             solo = engine.plan(item.outputs)
-            per_request.append(solo.execute(backend=self.backend))
+            per_request.append(self._run_plan(solo))
             passes += solo.n_passes
             executed = solo.last_execution["backend"]
         return per_request, len(batch), passes, executed
+
+    def _run_plan(self, built: "engine.Plan"):
+        """Execute one plan with the service's degradation ladder applied.
+
+        * A :class:`WorkerCrashError` from the process executor re-executes
+          the plan serially (``process_to_serial``) — correctness over
+          parallelism.
+        * A compiled kernel failing at runtime already degraded inside
+          :meth:`Plan.execute` (``runtime_fallbacks`` in
+          ``Plan.last_execution``); it is counted here so ``stats`` shows it.
+
+        Both rungs land in the metrics ``reliability.degradations`` counters
+        and in ``Plan.last_execution["fallback_reason"]``.
+        """
+        try:
+            values = built.execute(executor=self._executor, backend=self.backend)
+        except WorkerCrashError as exc:
+            self.metrics.record_degradation("process_to_serial")
+            values = built.execute(backend=self.backend)
+            if built.last_execution is not None:
+                built.last_execution["fallback_reason"] = (
+                    f"process pool crashed ({exc}); batch re-executed serially"
+                )
+        last = built.last_execution or {}
+        if last.get("runtime_fallbacks"):
+            self.metrics.record_degradation("compiled_to_interpreted")
+        return values
 
 
 class ThreadedQueryService:
@@ -321,13 +435,21 @@ class ThreadedQueryService:
         with ThreadedQueryService(catalog, tick=0.005) as served:
             with QueryClient(served.host, served.port) as client:
                 client.evaluate({"m": expr.mean(expr.source("temps"))})
+
+    A server thread that fails to start (port in use, bad backend) or fails
+    to join at exit raises a typed :class:`repro.serving.ServerError` instead
+    of silently proceeding; both waits are configurable via
+    ``startup_timeout`` / ``shutdown_timeout`` (seconds).
     """
 
     def __init__(self, catalog: StoreCatalog, host: str = "127.0.0.1",
-                 port: int = 0, **service_kwargs):
+                 port: int = 0, *, startup_timeout: float = 30.0,
+                 shutdown_timeout: float = 30.0, **service_kwargs):
         self.service = QueryService(catalog, **service_kwargs)
         self.host = host
         self.port = port  # resolved to the bound port once started
+        self.startup_timeout = float(startup_timeout)
+        self.shutdown_timeout = float(shutdown_timeout)
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._ready = threading.Event()
@@ -366,15 +488,24 @@ class ThreadedQueryService:
         self._thread = threading.Thread(target=self._run, daemon=True,
                                         name="repro-serving")
         self._thread.start()
-        if not self._ready.wait(timeout=30):
-            raise RuntimeError("query service failed to start within 30s")
+        if not self._ready.wait(timeout=self.startup_timeout):
+            raise ServerError(
+                f"query service failed to start within {self.startup_timeout:g}s"
+            )
         if self._startup_error is not None:
-            raise RuntimeError("query service failed to start") \
-                from self._startup_error
+            raise ServerError(
+                f"query service failed to start: {self._startup_error}"
+            ) from self._startup_error
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if self._loop is not None and self._loop.is_running():
             self._loop.call_soon_threadsafe(self._loop.stop)
         if self._thread is not None:
-            self._thread.join(timeout=30)
+            self._thread.join(timeout=self.shutdown_timeout)
+            if self._thread.is_alive():
+                raise ServerError(
+                    f"query service thread failed to shut down within "
+                    f"{self.shutdown_timeout:g}s; its daemon thread may still "
+                    "hold the port"
+                )

@@ -11,23 +11,32 @@ the file with a chunk table, so that
   decode only those (:meth:`CompressedStore.load_region`), never allocating the
   full index array.
 
-Format version 2 records the *codec name* in the header and stores every chunk
-as that codec's self-describing ``to_bytes`` stream (byte lengths live in the
-chunk table), so a store can hold slabs of **any** registered codec — the core
-pyblaz pipeline, the baselines, or a third-party backend — and the reader needs
-nothing beyond the registry to decode them.  Layout (all little-endian)::
+Format version 3 records the *codec name* in the header, stores every chunk as
+that codec's self-describing ``to_bytes`` stream, and adds **integrity
+checksums**: a CRC-32 (``zlib.crc32``) of every chunk record in its table
+entry, plus one table CRC covering the header and the footer body, so a
+flipped bit anywhere — payload, table, or header — is detected at read time and
+reported as a typed :class:`IntegrityError` naming the chunk and the store
+path rather than decoded into a silently wrong array.  Layout (all
+little-endian)::
 
-    "PBLZC"  u8 version=2
+    "PBLZC"  u8 version=3
     u8 name length, codec name (ascii)
     chunk 0 record: the codec's to_bytes stream for slab 0
     chunk 1 record: ...
     ...
-    footer: u64 n_chunks, n_chunks × (u64 offset, u64 n_bytes, u64 n_rows),
-            u64 ndim, ndim × u64 full shape, u64 footer offset, "PBLZE"
+    footer: u64 n_chunks,
+            n_chunks × (u64 offset, u64 n_bytes, u64 n_rows, u32 crc32),
+            u64 ndim, ndim × u64 full shape,
+            u32 table crc32 (over header bytes + footer bytes up to here),
+            u64 footer offset, "PBLZE"
 
-Version-1 files (pyblaz only: shared settings header, raw ``maxima``/``indices``
-records whose sizes derive from the settings) remain fully readable; the v1
-parsing path is kept verbatim below.
+Version-2 files (same layout minus the two checksum fields) and version-1
+files (pyblaz only: shared settings header, raw ``maxima``/``indices`` records
+whose sizes derive from the settings) remain fully readable; their parsing
+paths are kept verbatim below.  Reads of v1/v2 chunks simply skip checksum
+verification — ``repro verify-store`` still decodes them to catch gross
+corruption.
 
 For the pyblaz codec every chunk except the last must cover a whole number of
 block rows (``Codec.chunk_row_multiple``), so chunk block grids stack exactly
@@ -41,6 +50,7 @@ from __future__ import annotations
 import os
 import struct
 import threading
+import zlib
 from pathlib import Path
 from typing import Iterator
 
@@ -57,14 +67,16 @@ from ..core.codec import (
     unpack_type_codes,
 )
 from ..core.compressed import CompressedArray
-from ..core.exceptions import CodecError
+from ..core.exceptions import CodecError, IntegrityError
 from ..core.settings import CompressionSettings
+from ..reliability import faults
+from ..reliability.retry import DEFAULT_READ_RETRY, RetryPolicy, retry_call
 
 __all__ = ["CompressedStore", "CompressedStoreWriter", "load_region", "STORE_MAGIC"]
 
 STORE_MAGIC = b"PBLZC"
 _END_MAGIC = b"PBLZE"
-_STORE_VERSION = 2
+_STORE_VERSION = 3
 #: Trailer = footer offset (u64) + end magic; read first to locate the chunk table.
 _TRAILER_BYTES = 8 + len(_END_MAGIC)
 
@@ -124,13 +136,15 @@ class CompressedStoreWriter:
         self.path = Path(path)
         self._temp_path = self.path.with_name(self.path.name + ".partial")
         self._handle = open(self._temp_path, "wb")
-        self._chunks: list[tuple[int, int, int]] = []  # (offset, n_bytes, n_rows)
+        # (offset, n_bytes, n_rows, crc32) per appended chunk record
+        self._chunks: list[tuple[int, int, int, int]] = []
         self._tail_shape: tuple[int, ...] | None = None
         self._ragged = False
         self._finalized = False
         name = codec.name.encode("ascii")
         header = STORE_MAGIC + struct.pack("<B", _STORE_VERSION)
         header += struct.pack("<B", len(name)) + name
+        self._header = header  # seeds the v3 table checksum in finalize()
         self._handle.write(header)
 
     # ------------------------------------------------------------------ writing
@@ -168,7 +182,26 @@ class CompressedStoreWriter:
         payload = self.codec.to_bytes(chunk)
         offset = self._handle.tell()
         self._handle.write(payload)
-        self._chunks.append((offset, len(payload), n_rows))
+        self._chunks.append((offset, len(payload), n_rows, zlib.crc32(payload)))
+
+    def append_record(
+        self, payload: bytes, n_rows: int, *, tail_shape: tuple[int, ...] | None = None
+    ) -> None:
+        """Append one pre-encoded chunk record verbatim (the repair path).
+
+        Copies ``payload`` — already a valid stream of this writer's codec —
+        without re-encoding, so :func:`repro.reliability.repair_store` can
+        splice good records from a mirror bit-for-bit.  ``tail_shape`` seeds
+        the store's trailing shape when no :meth:`append` happened first.
+        """
+        if self._finalized:
+            raise CodecError("cannot append to a finalized store")
+        self._check_open("append to")
+        if self._tail_shape is None:
+            self._tail_shape = tuple(tail_shape) if tail_shape is not None else None
+        offset = self._handle.tell()
+        self._handle.write(payload)
+        self._chunks.append((offset, len(payload), n_rows, zlib.crc32(payload)))
 
     def _check_open(self, action: str) -> None:
         """Raise the documented :class:`CodecError` when the handle is closed.
@@ -196,10 +229,13 @@ class CompressedStoreWriter:
             raise CodecError("cannot finalize an empty store (no chunks appended)")
         footer_offset = self._handle.tell()
         footer = struct.pack("<Q", len(self._chunks))
-        for offset, n_bytes, n_rows in self._chunks:
-            footer += struct.pack("<QQQ", offset, n_bytes, n_rows)
-        shape = (sum(rows for _, _, rows in self._chunks),) + self._tail_shape
+        for offset, n_bytes, n_rows, crc in self._chunks:
+            footer += struct.pack("<QQQI", offset, n_bytes, n_rows, crc)
+        shape = (sum(rows for _, _, rows, _ in self._chunks),) + self._tail_shape
         footer += struct.pack(f"<Q{len(shape)}Q", len(shape), *shape)
+        # one checksum over header + footer body, so corrupting the table (or
+        # the codec name) is detected before any chunk entry is trusted
+        footer += struct.pack("<I", zlib.crc32(footer, zlib.crc32(self._header)))
         footer += struct.pack("<Q", footer_offset)
         footer += _END_MAGIC
         self._handle.write(footer)
@@ -220,7 +256,7 @@ class CompressedStoreWriter:
 
 
 class CompressedStore:
-    """Read-only view of a chunked store file (format versions 1 and 2).
+    """Read-only view of a chunked store file (format versions 1, 2 and 3).
 
     Chunks are read lazily: opening the store parses only the header and the
     chunk table.  :attr:`chunks_read` counts how many chunk records have been
@@ -231,6 +267,23 @@ class CompressedStore:
     readers — a threaded executor, the serving layer — never interleave each
     other's seek/read pairs, and :attr:`chunks_read` accounting is lock-guarded.
 
+    Reads are also **checked and retried**: version-3 records are verified
+    against their table CRC-32 and raise :class:`IntegrityError` (naming the
+    chunk index and store path) on mismatch, and transient failures — an
+    ``OSError`` from the read, or a checksum mismatch that a re-read could
+    clear — are retried per ``retry_policy`` before the error escapes.
+    :attr:`read_retries` counts the retries taken, surfaced by the serving
+    layer's ``stats``.
+
+    Parameters
+    ----------
+    path:
+        Store file to open.
+    retry_policy:
+        :class:`repro.reliability.RetryPolicy` for record reads, or ``None``
+        to fail on the first error.  Defaults to three quick attempts
+        (:data:`repro.reliability.DEFAULT_READ_RETRY`).
+
     Attributes
     ----------
     codec_name:
@@ -238,8 +291,8 @@ class CompressedStore:
         (``"pyblaz"`` for every version-1 file).
     settings:
         The shared :class:`CompressionSettings` for pyblaz-family stores
-        (parsed from the header for v1, recovered from the first chunk for v2),
-        ``None`` for stores of codecs without settings.
+        (parsed from the header for v1, recovered from the first chunk for
+        v2/v3), ``None`` for stores of codecs without settings.
     chunk_cache:
         Optional process-wide decoded-chunk cache (the serving layer's
         :class:`repro.serving.ChunkCache`); when set, :meth:`read_chunk`
@@ -248,11 +301,13 @@ class CompressedStore:
         savings show up in the cache's own hit counters.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, *, retry_policy: RetryPolicy | None = DEFAULT_READ_RETRY):
         self.path = Path(path)
         self._handle = open(self.path, "rb")
         self.chunks_read = 0
+        self.read_retries = 0
         self.chunk_cache = None
+        self.retry_policy = retry_policy
         self._lock = threading.Lock()
         self._settings: CompressionSettings | None = None
         self._settings_resolved = False
@@ -270,11 +325,15 @@ class CompressedStore:
         if head[: len(STORE_MAGIC)] != STORE_MAGIC:
             raise CodecError("not a PyBlaz chunked store (bad magic)")
         (self.version,) = struct.unpack("<B", head[len(STORE_MAGIC) :])
+        self._header_bytes = head
         if self.version == 1:
             self._read_v1_header()
-        elif self.version == 2:
-            (name_len,) = struct.unpack("<B", self._handle.read(1))
-            self.codec_name = self._handle.read(name_len).decode("ascii")
+        elif self.version in (2, 3):
+            name_len_byte = self._handle.read(1)
+            (name_len,) = struct.unpack("<B", name_len_byte)
+            name = self._handle.read(name_len)
+            self.codec_name = name.decode("ascii")
+            self._header_bytes += name_len_byte + name
         else:
             raise CodecError(f"unsupported store version {self.version}")
         self._read_table()
@@ -303,28 +362,52 @@ class CompressedStore:
         (footer_offset,) = struct.unpack_from("<Q", trailer, 0)
         self._handle.seek(footer_offset)
         footer = self._handle.read()
-        (n_chunks,) = struct.unpack_from("<Q", footer, 0)
-        pos = 8
-        # (offset, n_bytes | None, n_rows, row_start); v1 derives byte counts
-        # from the settings instead of storing them
-        self._chunks: list[tuple[int, int | None, int, int]] = []
-        row_start = 0
-        for _ in range(n_chunks):
+        try:
+            (n_chunks,) = struct.unpack_from("<Q", footer, 0)
+            pos = 8
+            # (offset, n_bytes | None, n_rows, row_start, crc | None); v1
+            # derives byte counts from the settings instead of storing them,
+            # and only v3 records per-chunk checksums
+            self._chunks: list[tuple[int, int | None, int, int, int | None]] = []
+            row_start = 0
+            for _ in range(n_chunks):
+                crc: int | None = None
+                if self.version == 1:
+                    offset, n_rows = struct.unpack_from("<QQ", footer, pos)
+                    pos += 16
+                    n_bytes: int | None = None
+                elif self.version == 2:
+                    offset, n_bytes, n_rows = struct.unpack_from("<QQQ", footer, pos)
+                    pos += 24
+                else:
+                    offset, n_bytes, n_rows, crc = struct.unpack_from("<QQQI", footer, pos)
+                    pos += 28
+                self._chunks.append((offset, n_bytes, n_rows, row_start, crc))
+                row_start += n_rows
             if self.version == 1:
-                offset, n_rows = struct.unpack_from("<QQ", footer, pos)
-                pos += 16
-                n_bytes: int | None = None
+                ndim = self._settings.ndim
             else:
-                offset, n_bytes, n_rows = struct.unpack_from("<QQQ", footer, pos)
-                pos += 24
-            self._chunks.append((offset, n_bytes, n_rows, row_start))
-            row_start += n_rows
-        if self.version == 1:
-            ndim = self._settings.ndim
-        else:
-            (ndim,) = struct.unpack_from("<Q", footer, pos)
-            pos += 8
-        self.shape = tuple(struct.unpack_from(f"<{ndim}Q", footer, pos))
+                (ndim,) = struct.unpack_from("<Q", footer, pos)
+                pos += 8
+            self.shape = tuple(struct.unpack_from(f"<{ndim}Q", footer, pos))
+            pos += 8 * ndim
+        except struct.error as exc:
+            # garbled counts/offsets make the footer unparseable before the
+            # checksum can even be located — still a typed integrity failure
+            raise IntegrityError(
+                f"chunk table of store {self.path} is garbled ({exc})",
+                path=str(self.path),
+            ) from exc
+        if self.version >= 3:
+            (table_crc,) = struct.unpack_from("<I", footer, pos)
+            computed = zlib.crc32(footer[:pos], zlib.crc32(self._header_bytes))
+            if computed != table_crc:
+                raise IntegrityError(
+                    f"chunk table of store {self.path} failed its checksum "
+                    f"(stored 0x{table_crc:08x}, computed 0x{computed:08x}); "
+                    "the header or footer bytes are corrupt",
+                    path=str(self.path),
+                )
         if self.shape[0] != row_start:
             raise CodecError(
                 f"corrupt chunk table: chunk rows sum to {row_start}, "
@@ -345,7 +428,7 @@ class CompressedStore:
     @property
     def chunk_rows(self) -> tuple[int, ...]:
         """Row count of every chunk, in file order."""
-        return tuple(rows for _, _, rows, _ in self._chunks)
+        return tuple(rows for _, _, rows, _, _ in self._chunks)
 
     @property
     def settings(self) -> CompressionSettings | None:
@@ -428,13 +511,60 @@ class CompressedStore:
             self._handle.seek(offset)
             return self._handle.read(n_bytes)
 
+    def _note_retry(self, attempt: int, exc: BaseException) -> None:
+        """Count one record-read retry (surfaced via serving ``stats``)."""
+        with self._lock:
+            self.read_retries += 1
+
+    def read_payload(self, index: int) -> bytes:
+        """Read (and for v3, verify) chunk ``index``'s raw record bytes.
+
+        This is the one seam every chunk read goes through: fault-injection
+        hooks fire here, version-3 checksums are verified here, and transient
+        failures — an ``OSError``, or a checksum mismatch a re-read could
+        clear — are retried per :attr:`retry_policy`.  The verify/repair CLI
+        also uses it to copy good records verbatim.
+        """
+        offset, n_bytes, n_rows, _, crc = self._chunks[index]
+        if n_bytes is None:  # v1: byte count derives from the settings
+            settings = self._settings
+            chunk_shape = (n_rows,) + self.shape[1:]
+            n_blocks = settings.n_blocks(chunk_shape)
+            n_bytes = float_bytes(n_blocks, settings.float_format) + (
+                n_blocks * settings.kept_per_block * settings.index_dtype.itemsize
+            )
+        path = str(self.path)
+
+        def attempt() -> bytes:
+            plan = faults.active_plan()
+            if plan is not None:
+                plan.before_chunk_read(path, index)
+            data = self._read_record(offset, n_bytes)
+            if plan is not None:
+                data = plan.corrupt_record(path, index, data)
+            if crc is not None and (len(data) != n_bytes or zlib.crc32(data) != crc):
+                raise IntegrityError(
+                    f"chunk {index} of store {path} failed its checksum "
+                    f"({len(data)} of {n_bytes} bytes read)",
+                    path=path,
+                    chunk_index=index,
+                )
+            return data
+
+        if self.retry_policy is None:
+            return attempt()
+        retry_on = (OSError,) if crc is None else (OSError, IntegrityError)
+        return retry_call(
+            attempt, policy=self.retry_policy, retry_on=retry_on,
+            on_retry=self._note_retry,
+        )
+
     def _decode_chunk(self, index: int):
         """Read chunk ``index``'s record and decode it (without counting it as read)."""
-        offset, n_bytes, n_rows, _ = self._chunks[index]
         try:
             if self.version == 1:
-                return self._decode_v1_chunk(offset, n_rows)
-            data = self._read_record(offset, n_bytes)
+                return self._decode_v1_chunk(index)
+            data = self.read_payload(index)
             return get_codec_class(self.codec_name).from_bytes(data)
         except CodecError:
             raise
@@ -445,14 +575,15 @@ class CompressedStore:
                 f"corrupt chunk {index} in {self.codec_name} store: {exc}"
             ) from exc
 
-    def _decode_v1_chunk(self, offset: int, n_rows: int) -> CompressedArray:
+    def _decode_v1_chunk(self, index: int) -> CompressedArray:
         """Decode a raw version-1 maxima/indices record into a chunk array."""
         settings = self._settings
+        n_rows = self._chunks[index][2]
         chunk_shape = (n_rows,) + self.shape[1:]
         n_blocks = settings.n_blocks(chunk_shape)
         maxima_nbytes = float_bytes(n_blocks, settings.float_format)
         indices_nbytes = n_blocks * settings.kept_per_block * settings.index_dtype.itemsize
-        data = self._read_record(offset, maxima_nbytes + indices_nbytes)
+        data = self.read_payload(index)
         maxima = unpack_floats(data[:maxima_nbytes], n_blocks, settings.float_format)
         maxima = maxima.reshape(settings.block_grid_shape(chunk_shape))
         indices = np.frombuffer(
@@ -533,7 +664,7 @@ class CompressedStore:
     def load(self) -> np.ndarray:
         """Decompress the whole array, one chunk at a time."""
         out: np.ndarray | None = None
-        for (_, _, n_rows, row_start), chunk in zip(self._chunks, self.iter_chunks()):
+        for (_, _, n_rows, row_start, _), chunk in zip(self._chunks, self.iter_chunks()):
             decompressed = self.decompress_chunk(chunk)
             if out is None:
                 out = np.empty(self.shape, dtype=decompressed.dtype)
@@ -573,7 +704,7 @@ class CompressedStore:
                 raise ValueError("load_region requires a positive step along axis 0")
 
         parts = []
-        for chunk_index, (_, _, n_rows, row_start) in enumerate(self._chunks):
+        for chunk_index, (_, _, n_rows, row_start, _) in enumerate(self._chunks):
             row_end = row_start + n_rows
             if row_end <= start or row_start >= stop:
                 continue

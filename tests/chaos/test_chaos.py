@@ -1,0 +1,152 @@
+"""Chaos suite: every fault class at every seam, asserting the reliability
+contract — an injected fault yields either a bitwise-correct result after
+retry/degradation or a clean typed error, never a hang and never a silent
+wrong scalar.  All fault plans are seeded, so each run replays identically.
+
+Run by the CI chaos-smoke job: ``pytest tests/chaos -q``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.core import CompressionSettings
+from repro.engine import expr
+from repro.kernels import backend_is_available
+from repro.parallel import ProcessExecutor
+from repro.reliability import (
+    FaultRule,
+    IntegrityError,
+    RetryPolicy,
+    WorkerCrashError,
+    inject,
+)
+from repro.streaming import ChunkedCompressor, CompressedStore
+from tests.conftest import smooth_field
+
+_FAST_RETRY = RetryPolicy(attempts=3, base_delay=0.0, max_delay=0.001, seed=0)
+
+
+@pytest.fixture
+def store(tmp_path):
+    settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
+                                   index_dtype="int16")
+    chunked = ChunkedCompressor(settings, slab_rows=8)
+    opened = chunked.compress_to_store(smooth_field((24, 16), seed=21),
+                                       tmp_path / "chaos.pblzc")
+    yield opened
+    opened.close()
+
+
+def _reopen(store, retry_policy=_FAST_RETRY) -> CompressedStore:
+    return CompressedStore(store.path, retry_policy=retry_policy)
+
+
+class TestReadFaults:
+    """Store-read faults: transient ones retry to bitwise-identical bytes,
+    persistent ones surface as typed errors naming the chunk."""
+
+    @pytest.mark.parametrize("kind", ["os_error", "bit_flip", "short_read",
+                                      "latency"])
+    def test_transient_fault_retries_to_bitwise_identical(self, store, kind):
+        baseline = store.load()  # fault-off reference
+        rule = FaultRule(kind, chunk_index=1, delay_seconds=0.01)
+        with inject(rule, seed=3) as plan:
+            with _reopen(store) as faulted:
+                assert np.array_equal(faulted.load(), baseline)
+                expected_retries = 0 if kind == "latency" else 1
+                assert faulted.read_retries == expected_retries
+        assert plan.fired[kind] == 1  # the fault really happened
+
+    @pytest.mark.parametrize("kind", ["bit_flip", "short_read"])
+    def test_persistent_corruption_is_a_typed_error(self, store, kind):
+        rule = FaultRule(kind, chunk_index=1, times=50)
+        with inject(rule, seed=3):
+            with _reopen(store) as faulted:
+                with pytest.raises(IntegrityError, match="chunk 1") as info:
+                    faulted.load()
+                assert info.value.chunk_index == 1
+
+    def test_persistent_os_error_exhausts_retries(self, store):
+        with inject(FaultRule("os_error", chunk_index=0, times=50), seed=3):
+            with _reopen(store) as faulted:
+                with pytest.raises(OSError):
+                    faulted.read_payload(0)
+                assert faulted.read_retries == _FAST_RETRY.attempts - 1
+
+    def test_engine_results_identical_with_faults_retried(self, store):
+        baseline = engine.evaluate({"m": expr.mean(store),
+                                    "n": expr.l2_norm(store)})
+        rules = [FaultRule("os_error", chunk_index=0),
+                 FaultRule("bit_flip", chunk_index=2)]
+        with inject(*rules, seed=3) as plan:
+            with _reopen(store) as faulted:
+                chaotic = engine.evaluate({"m": expr.mean(faulted),
+                                           "n": expr.l2_norm(faulted)})
+        assert chaotic == baseline  # scalar-exact: no silent wrong value
+        assert plan.fired["os_error"] == 1 and plan.fired["bit_flip"] == 1
+
+
+def _square_job(value):
+    return value * value
+
+
+class TestWorkerCrashes:
+    """A pooled worker hard-exiting surfaces as WorkerCrashError naming the
+    batch, and the retried (fault-consumed) run gives correct results."""
+
+    def test_map_jobs_crash_is_typed_then_retries_clean(self):
+        executor = ProcessExecutor(n_workers=2)
+        jobs = [(v,) for v in range(6)]
+        with inject(FaultRule("worker_crash", job_index=2), seed=3) as plan:
+            with pytest.raises(WorkerCrashError) as info:
+                executor.map_jobs(_square_job, jobs)
+            assert info.value.n_jobs == 6
+            assert info.value.job_index is not None
+            assert "retry" in str(info.value)
+            # the rule fired once and is consumed: the retry succeeds
+            assert executor.map_jobs(_square_job, jobs) == [0, 1, 4, 9, 16, 25]
+        assert plan.fired["worker_crash"] == 1
+
+    def test_imap_jobs_crash_is_typed(self):
+        executor = ProcessExecutor(n_workers=2)
+        jobs = [(v,) for v in range(6)]
+        with inject(FaultRule("worker_crash", job_index=0), seed=3):
+            with pytest.raises(WorkerCrashError):
+                list(executor.imap_jobs(_square_job, jobs))
+            assert list(executor.imap_jobs(_square_job, jobs)) == [
+                0, 1, 4, 9, 16, 25,
+            ]
+
+    def test_single_job_inline_path_is_never_armed(self):
+        # one job runs on the calling thread; arming it would kill the caller
+        executor = ProcessExecutor(n_workers=2)
+        with inject(FaultRule("worker_crash"), seed=3) as plan:
+            assert executor.map_jobs(_square_job, [(3,)]) == [9]
+        assert plan.fired["worker_crash"] == 0
+
+
+@pytest.mark.skipif(not backend_is_available("gemm"),
+                    reason="gemm backend unavailable")
+class TestCompiledKernelFaults:
+    """A compiled kernel failing at runtime degrades to the interpreter
+    mid-sweep with identical results, recorded in the execution report."""
+
+    def test_kernel_fault_degrades_to_interpreter_bitwise(self, store):
+        outputs = {"m": expr.mean(store), "v": expr.variance(store)}
+        baseline = engine.plan(outputs).execute()  # interpreted reference
+
+        plan = engine.plan(outputs, backend="gemm")
+        with inject(FaultRule("compiled_kernel"), seed=3) as faultplan:
+            degraded = plan.execute(backend="gemm")
+        assert faultplan.fired["compiled_kernel"] == 1
+        assert plan.last_execution["runtime_fallbacks"] == 1
+        assert "failed at runtime" in plan.last_execution["fallback_reason"]
+        assert degraded == pytest.approx(baseline, rel=1e-6)
+
+    def test_fault_off_compiled_run_records_no_fallback(self, store):
+        plan = engine.plan({"m": expr.mean(store)}, backend="gemm")
+        plan.execute(backend="gemm")
+        assert plan.last_execution["runtime_fallbacks"] == 0

@@ -185,6 +185,30 @@ def _write_v1_store(path, settings: CompressionSettings, chunks) -> None:
         handle.write(footer)
 
 
+def _write_v2_store(path, codec, chunks) -> None:
+    """Emit the pre-checksum version-2 store layout byte for byte (codec name
+    header, self-describing records, (offset, n_bytes, n_rows) chunk table)."""
+    name = codec.name.encode("ascii")
+    with open(path, "wb") as handle:
+        handle.write(b"PBLZC" + struct.pack("<BB", 2, len(name)) + name)
+        table = []
+        for chunk in chunks:
+            offset = handle.tell()
+            payload = codec.to_bytes(chunk)
+            handle.write(payload)
+            table.append((offset, len(payload), chunk.shape[0]))
+        footer_offset = handle.tell()
+        footer = struct.pack("<Q", len(table))
+        for offset, n_bytes, n_rows in table:
+            footer += struct.pack("<QQQ", offset, n_bytes, n_rows)
+        shape = (sum(rows for _, _, rows in table),) + chunks[0].shape[1:]
+        footer += struct.pack("<Q", len(shape))
+        footer += struct.pack(f"<{len(shape)}Q", *shape)
+        footer += struct.pack("<Q", footer_offset)
+        footer += b"PBLZE"
+        handle.write(footer)
+
+
 class TestStoreFormatCompatibility:
     def test_v1_store_reads_bit_identically(self, tmp_path, field):
         """A pre-refactor (version 1) store still loads: same chunks, same array."""
@@ -219,15 +243,32 @@ class TestStoreFormatCompatibility:
         expected = Compressor(settings).decompress(Compressor(settings).compress(field))
         assert np.array_equal(np.load(out), expected)
 
-    def test_v2_store_records_codec_name(self, tmp_path, field):
+    def test_current_store_records_codec_name(self, tmp_path, field):
         settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
                                        index_dtype="int16")
         with ChunkedCompressor(settings, slab_rows=8).compress_to_store(
-            field, tmp_path / "v2.pblzc"
+            field, tmp_path / "v3.pblzc"
         ) as store:
-            assert store.version == 2
+            assert store.version == 3
             assert store.codec_name == "pyblaz"
             assert store.settings is not None
+
+    def test_v2_store_reads_bit_identically(self, tmp_path, field):
+        """A pre-checksum (version 2) store still loads: same chunks, same array."""
+        settings = CompressionSettings(block_shape=(4, 4), float_format="float32",
+                                       index_dtype="int16")
+        codec = get_codec("pyblaz", settings=settings)
+        chunks = [codec.compress(field[i : i + 8]) for i in (0, 8, 16)]
+        path = tmp_path / "legacy2.pblzc"
+        _write_v2_store(path, codec, chunks)
+
+        with CompressedStore(path) as store:
+            assert store.version == 2
+            assert store.codec_name == "pyblaz"
+            assert store.shape == field.shape
+            assert store.chunk_rows == (8, 8, 8)
+            expected = codec.decompress(codec.compress(field))
+            assert np.array_equal(store.load(), expected)
 
     def test_v2_store_holds_any_registered_codec(self, tmp_path, field):
         for name in available_codecs():
