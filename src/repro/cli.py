@@ -10,7 +10,14 @@ Subcommands
                       is never fully loaded) into a chunked store.
 ``stream-decompress`` Reconstruct a ``.npy`` array — or just a region of it —
                       from a chunked store, one chunk at a time.
-``stream-ops``        Run compressed-domain operation(s) over chunked store(s)
+``shard-init``        Create a sharded store directory (manifest + shard 0)
+                      from a ``.npy`` file; appends grow it shard by shard
+                      (``docs/sharding.md``).
+``shard-append``      Append a ``.npy`` file's rows to a sharded store as a
+                      new shard, updating the persisted fold partials so
+                      reductions stay O(new chunks).
+``stream-ops``        Run compressed-domain operation(s) over chunked or
+                      sharded store(s)
                       out-of-core: scalar reductions print their value, the
                       array-valued operations write a new store chunk-by-chunk
                       (see ``docs/ops.md`` for the operation contracts).  The
@@ -29,7 +36,9 @@ Subcommands
 ``verify-store``      Scan every chunk of a chunked store against its recorded
                       checksums (format v3) and report per-chunk status;
                       ``--repair-from MIRROR`` rebuilds corrupt chunks from a
-                      replica (``docs/reliability.md``).
+                      replica (``docs/reliability.md``).  Sharded stores are
+                      verified recursively — the report names the corrupt
+                      shard *and* chunk, and repair takes a mirror directory.
 ``codecs``            List every registered codec with its capabilities and its
                       compression ratio on a standard 256×256 float64 probe.
 ``backends``          List every registered kernel backend (the execution
@@ -55,6 +64,9 @@ Examples
     repro decompress output.zfp roundtrip.npy
     repro stream-compress input.npy output.pblzc --codec sz --error-bound 1e-6
     repro stream-decompress output.pblzc roundtrip.npy --region 0:32,:,:
+    repro shard-init day0.npy climate.shards --block 4,4 --slab-rows 64
+    repro shard-append climate.shards day1.npy
+    repro stream-ops mean climate.shards
     repro stream-ops dot a.pblzc b.pblzc
     repro stream-ops mean a.pblzc --workers 4
     repro stream-ops evaluate a.pblzc b.pblzc --op mean --op variance --op dot --json
@@ -67,6 +79,7 @@ Examples
     repro query --port 7777 --stats
     repro verify-store temps.pblzc
     repro verify-store temps.pblzc --repair-from mirror/temps.pblzc
+    repro verify-store climate.shards --repair-from mirror.shards
     repro codecs
     repro backends
     repro info output.pblz
@@ -93,6 +106,8 @@ from .kernels import (
     get_backend_class,
 )
 from .streaming import ChunkedCompressor, CompressedStore, stream_compress
+from .streaming.sharded import (append_shard, init_sharded_store,
+                                is_sharded_store, open_store)
 from .streaming.store import STORE_MAGIC
 
 __all__ = ["main", "build_parser"]
@@ -210,6 +225,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_unstream.add_argument("--backend", default=None, choices=list(available_backends()),
                             help="kernel backend for chunk decompression (pyblaz stores only)")
 
+    p_shard_init = sub.add_parser(
+        "shard-init",
+        help="create a sharded store directory from a .npy file (shard 0)",
+    )
+    p_shard_init.add_argument("input", help="input .npy file (memmapped)")
+    p_shard_init.add_argument("output", help="sharded store directory to create")
+    _add_codec_options(p_shard_init)
+    p_shard_init.add_argument("--slab-rows", type=int, default=None,
+                              help="rows per chunk (rounded up to a block-row "
+                                   "multiple)")
+    p_shard_init.add_argument("--no-partials", action="store_true",
+                              help="skip persisting per-shard fold partials "
+                                   "(queries then always full-sweep)")
+
+    p_shard_append = sub.add_parser(
+        "shard-append",
+        help="append a .npy file's rows to a sharded store as a new shard",
+    )
+    p_shard_append.add_argument("store", help="sharded store directory")
+    p_shard_append.add_argument("input", help="input .npy file (memmapped)")
+    p_shard_append.add_argument("--slab-rows", type=int, default=None,
+                                help="rows per chunk within the new shard")
+    p_shard_append.add_argument("--no-partials", action="store_true",
+                                help="skip updating the persisted fold "
+                                     "partials (marks them stale; queries "
+                                     "fall back to full sweeps)")
+
     p_ops = sub.add_parser(
         "stream-ops",
         help="run compressed-domain operation(s) over chunked store(s) out-of-core",
@@ -218,7 +260,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compressed-domain operation (see docs/ops.md), or "
                             "`evaluate` to fuse several scalar reductions given "
                             "via --op into one planned sweep (docs/engine.md)")
-    p_ops.add_argument("store_a", help="chunked store (pyblaz family)")
+    p_ops.add_argument("store_a", help="chunked store file or sharded store "
+                                       "directory (pyblaz family)")
     p_ops.add_argument("store_b", nargs="?", default=None,
                        help="second store for the binary operations "
                             "(must be chunked identically to the first)")
@@ -256,7 +299,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("stores", nargs="+", metavar="NAME=PATH",
                          help="catalog entries mapping client-visible names to "
-                              "chunked store files")
+                              "chunked store files or sharded store "
+                              "directories")
     p_serve.add_argument("--host", default="127.0.0.1",
                          help="interface to bind (default: 127.0.0.1)")
     p_serve.add_argument("--port", type=int, default=0,
@@ -329,11 +373,13 @@ def build_parser() -> argparse.ArgumentParser:
         "verify-store",
         help="check every chunk of a chunked store against its checksums",
     )
-    p_verify.add_argument("store", help="chunked store file to scan")
+    p_verify.add_argument("store", help="chunked store file or sharded store "
+                                        "directory to scan")
     p_verify.add_argument("--repair-from", metavar="MIRROR", default=None,
-                          help="replica store to copy verified-good chunk "
-                               "payloads from, rewriting the store in place "
-                               "(both must be the same codec/shape/chunking)")
+                          help="replica store (or sharded mirror directory) to "
+                               "copy verified-good chunk payloads from, "
+                               "rewriting the store in place (both must be the "
+                               "same codec/shape/chunking)")
     p_verify.add_argument("--json", action="store_true",
                           help="emit the machine-readable per-chunk report")
 
@@ -465,7 +511,7 @@ def _cmd_stream_compress(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream_decompress(args: argparse.Namespace) -> int:
-    with CompressedStore(args.input) as store:
+    with open_store(args.input) as store:
         if args.backend is not None:
             if store.codec_name != "pyblaz":
                 print(
@@ -498,6 +544,37 @@ def _cmd_stream_decompress(args: argparse.Namespace) -> int:
             out.flush()
             array = out
         print(f"stream-decompressed {args.input} -> {args.output} {array.shape}")
+    return 0
+
+
+def _cmd_shard_init(args: argparse.Namespace) -> int:
+    """Create a sharded store directory with the input array as shard 0."""
+    array = np.load(args.input, mmap_mode="r")
+    codec = _build_codec(args, array.ndim)
+    if codec is None:
+        return 2
+    with init_sharded_store(args.output, array, codec,
+                            slab_rows=args.slab_rows,
+                            update_partials=not args.no_partials) as store:
+        print(f"shard-init {args.input} {array.shape} -> {args.output} "
+              f"(codec {codec.name})")
+        print(f"shards: {store.n_shards}, chunks: {store.n_chunks}, "
+              f"revision {store.revision}")
+        print(f"fold partials: "
+              f"{'persisted' if store.partials_fresh() else 'disabled'}")
+    return 0
+
+
+def _cmd_shard_append(args: argparse.Namespace) -> int:
+    """Append the input array's rows to a sharded store as a new shard."""
+    array = np.load(args.input, mmap_mode="r")
+    with append_shard(args.store, array, slab_rows=args.slab_rows,
+                      update_partials=not args.no_partials) as store:
+        print(f"shard-append {args.input} {array.shape} -> {args.store}")
+        print(f"shards: {store.n_shards}, rows: {store.shape[0]}, "
+              f"chunks: {store.n_chunks}, revision {store.revision}")
+        print(f"fold partials: "
+              f"{'fresh (queries stay O(new chunks))' if store.partials_fresh() else 'stale (queries full-sweep)'}")
     return 0
 
 
@@ -624,6 +701,7 @@ def _cmd_stream_ops(args: argparse.Namespace) -> int:
                 "backend_fallback": executed.get("fallback_reason"),
                 "compiled_groups": executed.get("compiled_groups"),
                 "interpreted_groups": executed.get("interpreted_groups"),
+                "incremental_groups": executed.get("incremental_groups"),
                 "compile_seconds": executed.get("compile_seconds"),
                 "describe": fused.describe(),
             }))
@@ -649,7 +727,7 @@ def _cmd_stream_ops(args: argparse.Namespace) -> int:
                   f"(shape {out.shape}, chunks {out.n_chunks})")
 
     try:
-        with CompressedStore(args.store_a) as store_a:
+        with open_store(args.store_a) as store_a:
             if not binary:
                 if operation not in _ARRAY_OPS:
                     return run_scalars(store_a, None)
@@ -661,7 +739,7 @@ def _cmd_stream_ops(args: argparse.Namespace) -> int:
                 with out:
                     report_store(out)
                 return 0
-            with CompressedStore(args.store_b) as store_b:
+            with open_store(args.store_b) as store_b:
                 if operation not in _ARRAY_OPS:
                     return run_scalars(store_a, store_b)
                 mapped = stream_ops.add if operation == "add" else stream_ops.subtract
@@ -835,7 +913,8 @@ def _cmd_verify_store(args: argparse.Namespace) -> int:
     """
     import json
 
-    from .reliability import repair_store, verify_store
+    from .reliability import (repair_sharded_store, repair_store,
+                              verify_sharded_store, verify_store)
 
     try:
         if not _is_store(args.store):
@@ -844,6 +923,23 @@ def _cmd_verify_store(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"error: cannot read store {args.store!r}: {exc}", file=sys.stderr)
         return 2
+    if is_sharded_store(args.store):
+        report = verify_sharded_store(args.store)
+        if args.repair_from is not None and not report.ok:
+            repaired = repair_sharded_store(args.store, args.repair_from)
+            spliced = [
+                f"shard {shard.index} chunk {chunk.index}"
+                for shard in repaired.shards if shard.report is not None
+                for chunk in shard.report.chunks if chunk.source == "mirror"
+            ]
+            print(f"repaired {len(spliced)} chunk(s) from {args.repair_from}: "
+                  f"{', '.join(spliced)}", file=sys.stderr)
+            report = repaired
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.describe())
+        return 0 if report.ok else CODEC_ERROR_EXIT
     report = verify_store(args.store)
     if args.repair_from is not None and not report.ok:
         repaired = repair_store(args.store, args.repair_from)
@@ -898,15 +994,27 @@ def _cmd_backends(args: argparse.Namespace) -> int:
 
 
 def _is_store(path) -> bool:
+    """True for a chunked store file or a sharded store directory."""
+    if is_sharded_store(path):
+        return True
+    import os
+    if os.path.isdir(path):
+        return False
     with open(path, "rb") as handle:
         return handle.read(len(STORE_MAGIC)) == STORE_MAGIC
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
     if _is_store(args.input):
-        with CompressedStore(args.input) as store:
+        with open_store(args.input) as store:
             print(f"shape: {store.shape}")
-            print(f"codec: {store.codec_name} (store format v{store.version})")
+            if is_sharded_store(args.input):
+                print(f"codec: {store.codec_name} "
+                      f"(sharded store v{store.version}, revision {store.revision})")
+                print(f"shards: {store.n_shards} (fold partials "
+                      f"{'fresh' if store.partials_fresh() else 'stale/absent'})")
+            else:
+                print(f"codec: {store.codec_name} (store format v{store.version})")
             print(f"chunks: {store.n_chunks} (rows per chunk: "
                   f"{', '.join(map(str, store.chunk_rows))})")
             settings = store.settings
@@ -962,6 +1070,8 @@ def main(argv: list[str] | None = None) -> int:
         "decompress": _cmd_decompress,
         "stream-compress": _cmd_stream_compress,
         "stream-decompress": _cmd_stream_decompress,
+        "shard-init": _cmd_shard_init,
+        "shard-append": _cmd_shard_append,
         "stream-ops": _cmd_stream_ops,
         "serve": _cmd_serve,
         "query": _cmd_query,

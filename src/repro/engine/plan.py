@@ -61,7 +61,9 @@ from ..core import ops as core_ops
 from ..core.ops import folds
 from ..kernels import DEFAULT_BACKEND
 from ..reliability import faults
-from ..streaming.sources import aligned_chunks, check_stores, require_pyblaz
+from ..streaming.sharded import ShardedStore, open_store
+from ..streaming.sources import (STORE_TYPES, aligned_chunks, check_stores,
+                                 require_pyblaz)
 from ..streaming.store import CompressedStore
 from . import compile as plan_compile
 from .expr import ArrayExpr, Expr, Reduction, Source, TWO_PASS_OPS
@@ -162,7 +164,7 @@ def _plan_pass_job(program: tuple, paths: tuple, terms: tuple, extras: tuple,
     """
     values = {}
     for slot, path in paths:
-        with CompressedStore(path) as store:
+        with open_store(path) as store:
             values[slot] = store.read_chunk(index)
     if backend != DEFAULT_BACKEND:
         slots = tuple(slot for slot, _ in paths)
@@ -260,7 +262,9 @@ class Plan:
         After :meth:`execute`: a dict recording the resolved ``backend``, any
         ``fallback_reason`` (backend unavailable at resolve time, or a
         compiled kernel failing at runtime mid-sweep), per-mode group counts
-        (``compiled_groups``/``interpreted_groups``), the number of
+        (``compiled_groups``/``interpreted_groups``/``incremental_groups`` —
+        the last counts sweep groups answered entirely from a sharded store's
+        persisted fold partials, decoding nothing), the number of
         ``runtime_fallbacks`` (compiled groups that degraded to the
         interpreter mid-run — the interpreted path resumed the same decoded
         chunks, so the scalars are still correct) and the JIT
@@ -316,8 +320,8 @@ class Plan:
                  f"{len(self._outputs)} output(s), backend={backend}"]
         for index, source in enumerate(self.sources):
             label = type(source).__name__
-            if isinstance(source, CompressedStore):
-                label = f"CompressedStore({source.path})"
+            if isinstance(source, STORE_TYPES):
+                label = f"{type(source).__name__}({source.path})"
             lines.append(f"  source s{index}: {label}")
         for pass_ in self.passes:
             lines.append(f"  pass {pass_.index}: {len(pass_.terms)} term(s) in "
@@ -347,7 +351,7 @@ class Plan:
         the first sweep.
         """
         for source in self.sources:
-            if isinstance(source, CompressedStore):
+            if isinstance(source, STORE_TYPES):
                 require_pyblaz(source)
         for pass_ in self.passes:
             for group in pass_.groups:
@@ -361,7 +365,7 @@ class Plan:
                         continue
                     source = self.sources[self._program[slot][1]]
                     settings = (source.settings
-                                if isinstance(source, CompressedStore) else None)
+                                if isinstance(source, STORE_TYPES) else None)
                     if settings is not None and not settings.first_coefficient_kept:
                         raise ValueError(
                             f"{name} requires the first coefficient of each "
@@ -376,7 +380,7 @@ class Plan:
         name = ", ".join(two_pass_ops) or "the plan"
         for index in multi_pass:
             source = self.sources[index]
-            if not isinstance(source, CompressedStore) and iter(source) is source:
+            if not isinstance(source, STORE_TYPES) and iter(source) is source:
                 raise ValueError(
                     f"{name} folds over its source twice (mean pass + centered "
                     "pass); pass a CompressedStore or a re-iterable sequence of "
@@ -393,6 +397,48 @@ class Plan:
             else:
                 resolved.append(())
         return tuple(resolved)
+
+    def _serve_group_from_partials(self, group: PassGroup, extras: tuple
+                                   ) -> "dict | None":
+        """Answer one sweep group from persisted shard partials, or ``None``.
+
+        A group is servable — no chunk is decoded at all — when **every** term
+        is an uncentered leaf-source fold a :class:`ShardedStore` persists:
+        ``dc(s)``, ``square(s)``, or ``product(s, s)`` with both operands the
+        same slot (per-block arithmetic identical to ``square``, served from
+        the same vectors relabeled).  The slot must map straight to a sharded
+        source with fresh partials (:meth:`ShardedStore.fold_state` applies
+        the staleness checks); any structural node (``scale``/``add``/...),
+        non-sharded source, centered fold, or stale shard makes the whole
+        group fall back to the ordinary sweep.  Served states are
+        bit-identical to swept ones: the persisted vectors are the sweep's own
+        per-chunk partials, concatenated in chunk order, so ``fsum`` sees the
+        same float64 values in the same order.
+        """
+        states: dict = {}
+        for term, extra in zip(group.terms, extras):
+            if extra:
+                return None
+            name, slots = term
+            if name == "dc" and len(slots) == 1:
+                fold, rename = "dc", None
+            elif name == "square" and len(slots) == 1:
+                fold, rename = "square", None
+            elif name == "product" and len(slots) == 2 and slots[0] == slots[1]:
+                fold, rename = "square", "product"
+            else:
+                return None
+            node = self._program[slots[0]]
+            if node[0] != "source":
+                return None
+            source = self.sources[node[1]]
+            if not isinstance(source, ShardedStore):
+                return None
+            state = source.fold_state(fold, rename=rename)
+            if state is None:
+                return None
+            states[term] = state
+        return states
 
     def _run_pass(self, pass_: PlanPass, extras: tuple, executor,
                   backend: str, run_stats: dict) -> list:
@@ -419,6 +465,11 @@ class Plan:
         state_by_term: dict = {}
         for group in pass_.groups:
             group_extras = tuple(extra_by_term[term] for term in group.terms)
+            served = self._serve_group_from_partials(group, group_extras)
+            if served is not None:
+                state_by_term.update(served)
+                run_stats["incremental_groups"] += 1
+                continue
             source_items = [(slot, self.sources[src_index])
                             for slot, src_index in zip(group.source_slots,
                                                        group.source_indices)]
@@ -428,7 +479,7 @@ class Plan:
                     self._program, group.terms, group.source_slots
                 )
             pooled = executor is not None and all(
-                isinstance(source, CompressedStore) for _, source in source_items
+                isinstance(source, STORE_TYPES) for _, source in source_items
             )
             if pooled:
                 # resolve the kernel parent-side from the stores' settings so
@@ -542,6 +593,7 @@ class Plan:
             "fallback_reason": fallback,
             "compiled_groups": 0,
             "interpreted_groups": 0,
+            "incremental_groups": 0,
             "runtime_fallbacks": 0,
             "compile_seconds": 0.0,
         }

@@ -11,7 +11,9 @@ layers (``docs/reliability.md``):
 * :mod:`~repro.reliability.faults` — the deterministic fault-injection
   harness (:class:`FaultPlan`) the chaos test suite drives.
 * :mod:`~repro.reliability.verify` — store scanning and chunk-level repair
-  (:func:`verify_store`, :func:`repair_store`), behind ``repro verify-store``.
+  (:func:`verify_store`, :func:`repair_store`), behind ``repro verify-store``,
+  plus the sharded-store recursion (:func:`verify_sharded_store`,
+  :func:`repair_sharded_store`) that names the corrupt shard *and* chunk.
 
 ``verify`` is imported lazily: it needs :mod:`repro.streaming`, which itself
 imports the retry and fault modules, and an eager import here would close
@@ -41,11 +43,24 @@ __all__ = [
     "inject",
     "ChunkReport",
     "StoreReport",
+    "ShardReport",
+    "ShardedStoreReport",
     "verify_store",
     "repair_store",
+    "verify_sharded_store",
+    "repair_sharded_store",
 ]
 
-_LAZY = ("ChunkReport", "StoreReport", "verify_store", "repair_store")
+_LAZY = (
+    "ChunkReport",
+    "StoreReport",
+    "ShardReport",
+    "ShardedStoreReport",
+    "verify_store",
+    "repair_store",
+    "verify_sharded_store",
+    "repair_sharded_store",
+)
 
 
 def __getattr__(name: str):

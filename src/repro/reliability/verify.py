@@ -19,7 +19,16 @@ from typing import List, Optional
 
 from ..core.exceptions import CodecError, IntegrityError
 
-__all__ = ["ChunkReport", "StoreReport", "verify_store", "repair_store"]
+__all__ = [
+    "ChunkReport",
+    "StoreReport",
+    "ShardReport",
+    "ShardedStoreReport",
+    "verify_store",
+    "repair_store",
+    "verify_sharded_store",
+    "repair_sharded_store",
+]
 
 
 @dataclass
@@ -223,3 +232,210 @@ def repair_store(path, mirror) -> StoreReport:
         for payload, n_rows in records:
             writer.append_record(payload, n_rows, tail_shape=tail_shape)
     return report
+
+
+# ------------------------------------------------------------------ sharded
+@dataclass
+class ShardReport:
+    """Verification outcome for one shard of a sharded store."""
+
+    index: int
+    file: str
+    #: the shard's chunk-level report (None only when the file is missing)
+    report: Optional[StoreReport] = None
+    #: manifest-level failure: missing file, or size/CRC drift vs the manifest
+    manifest_error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the manifest entry and every chunk of the shard verified."""
+        return (self.manifest_error is None
+                and self.report is not None and self.report.ok)
+
+    def describe(self) -> str:
+        """Greppable per-shard lines: each names the shard *and* the chunk."""
+        prefix = f"shard {self.index} ({self.file})"
+        lines = []
+        if self.manifest_error:
+            lines.append(f"{prefix}: MANIFEST MISMATCH — {self.manifest_error}")
+        if self.report is not None:
+            if self.report.table_error:
+                lines.append(
+                    f"{prefix} chunk table: CORRUPT — {self.report.table_error}"
+                )
+            lines.extend(f"{prefix} {chunk.describe()}"
+                         for chunk in self.report.chunks)
+        if not lines:
+            lines.append(f"{prefix}: MISSING")
+        return "\n".join(lines)
+
+
+@dataclass
+class ShardedStoreReport:
+    """Verification outcome for a whole sharded store directory."""
+
+    path: str
+    version: int
+    codec_name: str
+    shape: tuple
+    shards: List[ShardReport] = field(default_factory=list)
+    #: non-None when the manifest itself failed to load/validate
+    manifest_error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the manifest and every shard verified."""
+        return self.manifest_error is None and all(s.ok for s in self.shards)
+
+    @property
+    def corrupt_shards(self) -> List[int]:
+        """Indices of every shard that failed verification, in shard order."""
+        return [shard.index for shard in self.shards if not shard.ok]
+
+    def describe(self) -> str:
+        """The multi-line human report ``repro verify-store`` prints."""
+        lines = [
+            f"{self.path}: sharded store v{self.version}, codec "
+            f"{self.codec_name}, shape {self.shape}, {len(self.shards)} shard(s)"
+        ]
+        if self.manifest_error:
+            lines.append(f"manifest: CORRUPT — {self.manifest_error}")
+        lines.extend(shard.describe() for shard in self.shards)
+        n_bad = len(self.corrupt_shards)
+        lines.append(
+            "store OK" if self.ok else f"store CORRUPT ({n_bad} bad shard(s))"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """The JSON-ready form behind ``repro verify-store --json``."""
+        return {
+            "path": self.path,
+            "sharded": True,
+            "version": self.version,
+            "codec": self.codec_name,
+            "shape": list(self.shape),
+            "ok": self.ok,
+            "manifest_error": self.manifest_error,
+            "shards": [
+                {
+                    "index": shard.index,
+                    "file": shard.file,
+                    "ok": shard.ok,
+                    "manifest_error": shard.manifest_error,
+                    "report": (shard.report.to_dict()
+                               if shard.report is not None else None),
+                }
+                for shard in self.shards
+            ],
+        }
+
+
+def _check_shard_entry(directory: Path, entry: dict) -> Optional[str]:
+    """Compare one shard file against its manifest record (size, CRC-32)."""
+    import zlib
+
+    shard_path = directory / entry["file"]
+    if not shard_path.is_file():
+        return "shard file is missing"
+    actual = shard_path.stat().st_size
+    if actual != int(entry["n_bytes"]):
+        return f"size {actual} != manifest {entry['n_bytes']}"
+    crc = 0
+    with open(shard_path, "rb") as handle:
+        while True:
+            block = handle.read(1 << 20)
+            if not block:
+                break
+            crc = zlib.crc32(block, crc)
+    if crc != int(entry["crc32"]):
+        return f"CRC-32 {crc:#010x} != manifest {int(entry['crc32']):#010x}"
+    return None
+
+
+def verify_sharded_store(path) -> ShardedStoreReport:
+    """Recursively verify a sharded store: manifest entries, then every chunk.
+
+    Each shard is first checked against its manifest record (existence, byte
+    size, whole-file CRC-32) and then scanned chunk by chunk with
+    :func:`verify_store`, so the report names the corrupt *shard and chunk*.
+    A missing or garbled manifest short-circuits into ``manifest_error``.
+    """
+    from ..streaming.sharded import load_manifest
+
+    path = Path(path)
+    try:
+        manifest = load_manifest(path)
+    except CodecError as exc:
+        return ShardedStoreReport(
+            path=str(path), version=0, codec_name="?", shape=(),
+            manifest_error=str(exc),
+        )
+    report = ShardedStoreReport(
+        path=str(path), version=int(manifest["version"]),
+        codec_name=str(manifest["codec"]),
+        shape=tuple(int(extent) for extent in manifest["shape"]),
+    )
+    for index, entry in enumerate(manifest["shards"]):
+        shard = ShardReport(index=index, file=entry["file"],
+                            manifest_error=_check_shard_entry(path, entry))
+        if (path / entry["file"]).is_file():
+            shard.report = verify_store(path / entry["file"])
+        report.shards.append(shard)
+    return report
+
+
+def repair_sharded_store(path, mirror) -> ShardedStoreReport:
+    """Repair every corrupt shard of a sharded store from a mirror directory.
+
+    The mirror must be a sharded store replica (same shard layout); each shard
+    that fails verification is rebuilt in place with :func:`repair_store`
+    against the mirror's same-named shard, and the manifest's size/CRC entries
+    are refreshed to the repaired bytes — the ``revision`` is *not* bumped,
+    because the logical chunk contents (and hence any persisted fold partials)
+    are unchanged.  Returns the post-repair :func:`verify_sharded_store`
+    report, with per-chunk ``source`` markers merged in from the repairs.
+    Raises :class:`CodecError` when any chunk is corrupt in both copies.
+    """
+    import zlib
+
+    from ..streaming.sharded import load_manifest, save_manifest
+
+    path = Path(path)
+    mirror = Path(mirror)
+    before = verify_sharded_store(path)
+    if before.manifest_error is not None:
+        raise CodecError(
+            f"cannot repair {path}: manifest unreadable "
+            f"({before.manifest_error}); restore the manifest first"
+        )
+    repaired: dict[int, StoreReport] = {}
+    manifest = load_manifest(path)
+    for shard in before.shards:
+        if shard.ok:
+            continue
+        entry = manifest["shards"][shard.index]
+        repaired[shard.index] = repair_store(
+            path / entry["file"], mirror / entry["file"]
+        )
+        shard_path = path / entry["file"]
+        entry["n_bytes"] = shard_path.stat().st_size
+        crc = 0
+        with open(shard_path, "rb") as handle:
+            while True:
+                block = handle.read(1 << 20)
+                if not block:
+                    break
+                crc = zlib.crc32(block, crc)
+        entry["crc32"] = crc
+    if repaired:
+        save_manifest(path, manifest)
+    after = verify_sharded_store(path)
+    for shard in after.shards:
+        fixed = repaired.get(shard.index)
+        if fixed is None or shard.report is None:
+            continue
+        for chunk, spliced in zip(shard.report.chunks, fixed.chunks):
+            chunk.source = spliced.source
+            chunk.error = spliced.error
+    return after

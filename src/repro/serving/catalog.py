@@ -19,6 +19,8 @@ from pathlib import Path
 from typing import Iterator, Mapping
 
 from ..core.exceptions import CodecError
+from ..streaming.sharded import is_sharded_store, load_manifest, open_store
+from ..streaming.sources import STORE_TYPES
 from ..streaming.store import CompressedStore
 from .cache import ChunkCache
 
@@ -53,7 +55,7 @@ class StoreCatalog:
         for name, target in stores.items():
             if not isinstance(name, str) or not name:
                 raise ValueError(f"catalog names must be non-empty strings, got {name!r}")
-            if isinstance(target, CompressedStore):
+            if isinstance(target, STORE_TYPES):
                 self._adopt(name, target)
             else:
                 self._paths[name] = Path(target)
@@ -94,12 +96,47 @@ class StoreCatalog:
             raise KeyError(
                 f"unknown store {name!r}; catalog has: {', '.join(self.names)}"
             )
-        store = CompressedStore(path)
+        store = open_store(path)
         if self.cache is not None:
             store.chunk_cache = self.cache
         self._open[name] = store
         self._owned.add(name)
         return store
+
+    def refresh(self, name: str) -> None:
+        """Drop ``name``'s open handle and cached chunks; reopen on next use.
+
+        The hook for stores repaired or rewritten **in place** (e.g. ``repro
+        verify-store --repair-from``): the shared handle still maps the old
+        bytes and the chunk cache may hold chunks decoded from them, so both
+        are discarded — per shard for sharded stores.  Owned handles are
+        closed; adopted ones are only forgotten (their creator closes them).
+        Unknown names raise ``KeyError`` like :meth:`get`.
+        """
+        if name not in self._paths:
+            raise KeyError(
+                f"unknown store {name!r}; catalog has: {', '.join(self.names)}"
+            )
+        store = self._open.pop(name, None)
+        if self.cache is not None:
+            target = self._paths[name]
+            if store is not None and hasattr(store, "shard_paths"):
+                paths = store.shard_paths()
+            elif is_sharded_store(target):
+                # cache keys are per shard file, so enumerate them even when
+                # the sharded handle was never opened through this catalog
+                paths = tuple(str(target / entry["file"])
+                              for entry in load_manifest(target)["shards"])
+            else:
+                paths = (str(target),)
+            for path in paths:
+                self.cache.invalidate(path)
+        if store is not None and name in self._owned:
+            self._owned.discard(name)
+            try:
+                store.close()
+            except CodecError:  # pragma: no cover - close never raises this
+                pass
 
     def open_stores(self) -> tuple[CompressedStore, ...]:
         """Every store currently open (touched by a query or adopted).

@@ -20,6 +20,11 @@ Three layers:
   Format v2 records the codec *name*, so a store can hold slabs of any
   registered :mod:`repro.codecs` backend (:func:`stream_compress` is the
   codec-generic writer); v1 pyblaz stores remain readable.
+* :class:`ShardedStore` (:mod:`repro.streaming.sharded`) — a manifest over N
+  immutable store shards with append support and persisted per-shard fold
+  partials, so reductions over a growing store are O(new chunks); it presents
+  the single-store surface, and :func:`open_store` dispatches on the path kind
+  (``docs/sharding.md``).
 * :mod:`repro.streaming.ops` — the out-of-core compressed-domain operations:
   every Table I scalar reduction (``mean``, ``variance``,
   ``standard_deviation``, ``covariance``, ``dot``, ``l2_norm``,
@@ -39,14 +44,28 @@ Three layers:
 from . import ops
 from .chunked import ChunkedCompressor, stream_compress
 from .reductions import stream_dot, stream_l2_norm, stream_mean
+from .sharded import (
+    ShardedStore,
+    append_shard,
+    init_sharded_store,
+    is_sharded_store,
+    open_store,
+    refresh_partials,
+)
 from .store import CompressedStore, CompressedStoreWriter, load_region
 
 __all__ = [
     "ChunkedCompressor",
     "CompressedStore",
     "CompressedStoreWriter",
+    "ShardedStore",
+    "append_shard",
+    "init_sharded_store",
+    "is_sharded_store",
     "load_region",
+    "open_store",
     "ops",
+    "refresh_partials",
     "stream_compress",
     "stream_mean",
     "stream_l2_norm",

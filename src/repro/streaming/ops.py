@@ -61,7 +61,8 @@ import math
 from .. import engine
 from ..core import ops as core_ops
 from ..engine import expr
-from .sources import aligned_chunks, check_stores, require_pyblaz
+from .sharded import open_store
+from .sources import STORE_TYPES, aligned_chunks, check_stores, require_pyblaz
 from .store import CompressedStore, CompressedStoreWriter
 
 __all__ = [
@@ -181,7 +182,7 @@ def _structural_chunk_job(operation: str, paths: tuple, index: int, extra: tuple
     """
     chunks = []
     for path in paths:
-        with CompressedStore(path) as store:
+        with open_store(path) as store:
             chunks.append(store.read_chunk(index))
     return _STRUCTURAL_OPS[operation](*chunks, *extra)
 
@@ -206,7 +207,7 @@ def _map_to_store(operation: str, sources: tuple, path, executor=None,
     """
     transform = _STRUCTURAL_OPS[operation]
     if executor is not None and sources and all(
-        isinstance(source, CompressedStore) for source in sources
+        isinstance(source, STORE_TYPES) for source in sources
     ):
         for source in sources:
             require_pyblaz(source)

@@ -15,12 +15,25 @@ from typing import Iterator, Sequence
 
 from ..core.compressed import CompressedArray
 from ..core.exceptions import CodecError
+from .sharded import ShardedStore
 from .store import CompressedStore
 
-__all__ = ["require_pyblaz", "source_chunks", "aligned_chunks", "check_stores"]
+__all__ = [
+    "STORE_TYPES",
+    "require_pyblaz",
+    "source_chunks",
+    "aligned_chunks",
+    "check_stores",
+]
+
+#: The open-store source kinds every layer treats interchangeably: a single
+#: chunked store file, or a sharded store directory presenting the same
+#: surface.  ``isinstance(source, STORE_TYPES)`` is the one idiom for "this
+#: source is a reopenable on-disk store" across ops, engine and serving.
+STORE_TYPES = (CompressedStore, ShardedStore)
 
 
-def require_pyblaz(store: CompressedStore) -> None:
+def require_pyblaz(store) -> None:
     """Reject stores whose chunks are not pyblaz-family compressed arrays."""
     if store.settings is None:
         raise CodecError(
@@ -31,7 +44,7 @@ def require_pyblaz(store: CompressedStore) -> None:
 
 def source_chunks(source) -> Iterator[CompressedArray]:
     """Iterate a source's chunks: a store's records or an iterable's items."""
-    if isinstance(source, CompressedStore):
+    if isinstance(source, STORE_TYPES):
         require_pyblaz(source)
         return source.iter_chunks()
     return iter(source)
@@ -62,7 +75,7 @@ def aligned_chunks(sources: tuple) -> Iterator[tuple]:
 
 def check_stores(sources: Sequence) -> None:
     """Cheap upfront geometry checks across every open-store source."""
-    stores = [source for source in sources if isinstance(source, CompressedStore)]
+    stores = [source for source in sources if isinstance(source, STORE_TYPES)]
     if len(stores) < 2:
         return
     first = stores[0]

@@ -23,7 +23,7 @@ from repro.reliability import (
     WorkerCrashError,
     inject,
 )
-from repro.streaming import ChunkedCompressor, CompressedStore
+from repro.streaming import ChunkedCompressor, CompressedStore, ShardedStore
 from tests.conftest import smooth_field
 
 _FAST_RETRY = RetryPolicy(attempts=3, base_delay=0.0, max_delay=0.001, seed=0)
@@ -150,3 +150,111 @@ class TestCompiledKernelFaults:
         plan = engine.plan({"m": expr.mean(store)}, backend="gemm")
         plan.execute(backend="gemm")
         assert plan.last_execution["runtime_fallbacks"] == 0
+
+    def test_mixed_groups_count_one_fallback_two_interpreted(self, store, tmp_path):
+        # regression: with a structural group already interpreting, a runtime
+        # kernel fault in the *compiled* group must record exactly one
+        # fallback and leave both groups interpreted — the fallback counter
+        # must not absorb (or be absorbed by) the born-interpreted group
+        other = ChunkedCompressor(store.settings, slab_rows=8).compress_to_store(
+            smooth_field((24, 16), seed=22), tmp_path / "other.pblzc"
+        )
+        with other:
+            outputs = {"a": expr.mean(store),
+                       "b": expr.mean(expr.scale(expr.source(other), 2.0))}
+            baseline = engine.plan(outputs).execute()
+            plan = engine.plan(outputs, backend="gemm")
+            with inject(FaultRule("compiled_kernel"), seed=3) as faultplan:
+                degraded = plan.execute(backend="gemm")
+            stats = plan.last_execution
+        assert faultplan.fired["compiled_kernel"] == 1
+        assert stats["compiled_groups"] == 0
+        assert stats["interpreted_groups"] == 2
+        assert stats["runtime_fallbacks"] == 1
+        assert "failed at runtime" in stats["fallback_reason"]
+        assert degraded == baseline  # both groups interpreted: bit-identical
+
+
+class TestShardedStoreCorruption:
+    """On-disk corruption of one shard (the CI job's ``dd`` scenario) is
+    detected by ``repro verify-store`` naming the shard *and* chunk, repaired
+    from a mirror replica, and the repaired store keeps serving incremental
+    answers bit-identical to the pre-corruption ones."""
+
+    def _grown_with_mirror(self, tmp_path):
+        import shutil
+
+        from repro.streaming import append_shard, init_sharded_store
+
+        settings = CompressionSettings(block_shape=(4, 4),
+                                       float_format="float32",
+                                       index_dtype="int16")
+        path = tmp_path / "grown.shards"
+        init_sharded_store(path, smooth_field((16, 8), seed=31), settings,
+                           slab_rows=8).close()
+        append_shard(path, smooth_field((8, 8), seed=32), slab_rows=8).close()
+        mirror = tmp_path / "mirror.shards"
+        shutil.copytree(path, mirror)
+        return path, mirror
+
+    def _flip_chunk_bytes(self, path, shard_index, chunk_index) -> None:
+        """Overwrite 8 bytes inside one chunk record, as CI does with dd."""
+        from repro.streaming.sharded import shard_filename
+
+        shard_path = path / shard_filename(shard_index)
+        with CompressedStore(shard_path) as shard:
+            offset, n_bytes, _, _, _ = shard._chunks[chunk_index]
+        with open(shard_path, "r+b") as handle:
+            handle.seek(offset + n_bytes // 2)
+            handle.write(b"\xff" * 8)
+
+    def test_cli_detects_names_shard_and_chunk_then_repairs(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        path, mirror = self._grown_with_mirror(tmp_path)
+        with ShardedStore(path) as store:
+            expected = engine.plan({"m": expr.mean(expr.source(store)),
+                                    "n": expr.l2_norm(expr.source(store))}).execute()
+        self._flip_chunk_bytes(path, shard_index=1, chunk_index=0)
+
+        # detection: exit 3, output names exactly the damaged shard and chunk
+        assert cli_main(["verify-store", str(path)]) == 3
+        scan = capsys.readouterr().out
+        assert "shard 1 (shard-000001.pblzc)" in scan
+        assert "chunk 0: CORRUPT" in scan
+        flagged = [line for line in scan.splitlines() if line.startswith("shard")
+                   and ("CORRUPT" in line or "MISMATCH" in line)]
+        assert flagged and all(line.startswith("shard 1") for line in flagged)
+        assert "store CORRUPT (1 bad shard(s))" in scan
+
+        # repair from the mirror replica: exit 0 and a clean re-scan
+        assert cli_main(["verify-store", str(path),
+                         "--repair-from", str(mirror)]) == 0
+        captured = capsys.readouterr()
+        assert "repaired 1 chunk(s)" in captured.err
+        assert "shard 1 chunk 0" in captured.err
+        assert cli_main(["verify-store", str(path)]) == 0
+        capsys.readouterr()
+
+        # the repaired store still serves incrementally, bit-identical
+        with ShardedStore(path) as repaired:
+            assert repaired.partials_fresh()
+            plan = engine.plan({"m": expr.mean(expr.source(repaired)),
+                                "n": expr.l2_norm(expr.source(repaired))})
+            assert plan.execute() == expected
+            assert plan.last_execution["incremental_groups"] == 1
+
+    def test_faulted_shard_reads_retry_to_identical(self, tmp_path):
+        # the PR 8 injection harness composes with sharded reads: a transient
+        # bit flip inside one shard retries to bitwise-identical bytes
+        path, _ = self._grown_with_mirror(tmp_path)
+        with ShardedStore(path, use_partials=False,
+                          retry_policy=_FAST_RETRY) as store:
+            baseline = store.load()
+        rule = FaultRule("bit_flip", chunk_index=0)
+        with inject(rule, seed=3) as plan:
+            with ShardedStore(path, use_partials=False,
+                              retry_policy=_FAST_RETRY) as faulted:
+                assert np.array_equal(faulted.load(), baseline)
+                assert faulted.read_retries == 1
+        assert plan.fired["bit_flip"] == 1

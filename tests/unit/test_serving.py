@@ -170,6 +170,103 @@ class TestStoreCatalog:
             StoreCatalog({"": store_path})
 
 
+class TestCatalogRefresh:
+    """``StoreCatalog.refresh``: the hook for stores repaired in place.
+
+    Regression for the cache-coherence gap: a store rewritten at its existing
+    path left the shared handle mapping the old chunk table and the
+    :class:`ChunkCache` holding chunks decoded from the old bytes, so queries
+    kept answering from the pre-repair data until the process restarted.
+    """
+
+    def _rewrite_in_place(self, store_path, seed: int) -> np.ndarray:
+        """Atomically replace the store's bytes with a different field."""
+        settings = CompressionSettings(block_shape=(4, 4),
+                                       float_format="float32",
+                                       index_dtype="int16")
+        field = smooth_field((48, 12), seed=seed)
+        compressor = ChunkedCompressor(settings, slab_rows=16)
+        compressor.compress_to_store(field, store_path).close()
+        return field
+
+    def test_refresh_invalidates_cache_and_reopens(self, store_path):
+        from repro.streaming import CompressedStore
+
+        cache = ChunkCache()
+        with StoreCatalog({"x": store_path}, cache=cache) as catalog:
+            old = catalog.get("x")
+            stale_chunks = [old.read_chunk(i) for i in range(old.n_chunks)]
+            assert len(cache) == old.n_chunks
+
+            rewritten = self._rewrite_in_place(store_path, seed=99)
+            # without refresh the cache still serves the pre-rewrite decodes
+            assert catalog.get("x") is old
+            assert catalog.get("x").read_chunk(0) is stale_chunks[0]
+
+            catalog.refresh("x")
+            assert cache.get((str(store_path), 0)) is None  # entries dropped
+            fresh = catalog.get("x")
+            assert fresh is not old  # a new handle over the new bytes
+            assert isinstance(fresh, CompressedStore)
+            assert np.allclose(fresh.load(), rewritten, atol=0.05)
+            assert fresh.read_chunk(0) is not stale_chunks[0]
+
+    def test_refresh_unknown_name_raises(self, store_path):
+        with StoreCatalog({"x": store_path}) as catalog:
+            with pytest.raises(KeyError, match="unknown store 'z'"):
+                catalog.refresh("z")
+
+    def test_refresh_adopted_store_forgotten_not_closed(self, store_path):
+        from repro.streaming import CompressedStore
+
+        with CompressedStore(store_path) as store:
+            with StoreCatalog({"x": store}) as catalog:
+                catalog.refresh("x")
+                assert not store._handle.closed  # adopted: only forgotten
+                assert catalog.get("x") is not store
+
+    def test_refresh_sharded_store_invalidates_per_shard(self, tmp_path):
+        from repro.streaming import ShardedStore, append_shard, init_sharded_store
+
+        settings = CompressionSettings(block_shape=(4, 4),
+                                       float_format="float32",
+                                       index_dtype="int16")
+        path = tmp_path / "grown.shards"
+        init_sharded_store(path, smooth_field((16, 8), seed=7), settings,
+                           slab_rows=8).close()
+        append_shard(path, smooth_field((8, 8), seed=8), slab_rows=8).close()
+
+        cache = ChunkCache()
+        unrelated = object()
+        cache.put(("elsewhere", 0), unrelated)
+        with StoreCatalog({"g": path}, cache=cache) as catalog:
+            store = catalog.get("g")
+            assert isinstance(store, ShardedStore)
+            store.load()  # populate the cache under every shard's path
+            shard_keys = [(p, 0) for p in store.shard_paths()]
+            assert all(cache.get(key) is not None for key in shard_keys)
+
+            catalog.refresh("g")
+            assert all(cache.get(key) is None for key in shard_keys)
+            assert cache.get(("elsewhere", 0)) is unrelated  # others untouched
+            assert isinstance(catalog.get("g"), ShardedStore)
+
+    def test_refresh_cold_sharded_store_enumerates_manifest(self, tmp_path):
+        from repro.streaming import init_sharded_store
+
+        settings = CompressionSettings(block_shape=(4, 4),
+                                       float_format="float32",
+                                       index_dtype="int16")
+        path = tmp_path / "cold.shards"
+        init_sharded_store(path, smooth_field((16, 8), seed=9), settings,
+                           slab_rows=8).close()
+        cache = ChunkCache()
+        cache.put((str(path / "shard-000000.pblzc"), 0), object())
+        with StoreCatalog({"g": path}, cache=cache) as catalog:
+            catalog.refresh("g")  # never opened through this catalog
+            assert cache.get((str(path / "shard-000000.pblzc"), 0)) is None
+
+
 class TestServiceMetrics:
     def test_counters_and_snapshot(self):
         metrics = ServiceMetrics()

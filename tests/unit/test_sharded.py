@@ -1,0 +1,358 @@
+"""Unit tests for the sharded store layer (:mod:`repro.streaming.sharded`).
+
+Covers the manifest contract (round trip, atomic publish, versioning, foreign
+and corrupt manifests), init/append validation (non-empty targets, trailing
+shapes, codec mismatches, ragged-shard appends), ``open_store`` dispatch, lazy
+shard opening, the staleness ladder (``update_partials=False`` → sidecar loss
+→ size drift) with :func:`refresh_partials` as the recovery path, fold-state
+assembly details (renaming, counts, unknown folds), non-pyblaz shards, and the
+API-level verify/repair recursion that names the corrupt shard *and* chunk.
+"""
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.core import CompressionSettings
+from repro.core.exceptions import CodecError
+from repro.engine import expr
+from repro.reliability import repair_sharded_store, verify_sharded_store
+from repro.streaming import (
+    CompressedStore,
+    ShardedStore,
+    append_shard,
+    init_sharded_store,
+    is_sharded_store,
+    open_store,
+    refresh_partials,
+    stream_compress,
+)
+from repro.streaming.sharded import (
+    MANIFEST_NAME,
+    load_manifest,
+    partials_filename,
+    save_manifest,
+    shard_filename,
+)
+from repro.codecs import get_codec
+from tests.conftest import smooth_field
+
+
+@pytest.fixture
+def settings() -> CompressionSettings:
+    return CompressionSettings(block_shape=(4, 4), float_format="float32",
+                               index_dtype="int16")
+
+
+def _grown(tmp_path, settings, shapes=((16, 8), (8, 8)), slab_rows=8):
+    """A sharded store with one shard per shape, distinct deterministic data."""
+    path = tmp_path / "grown.shards"
+    init_sharded_store(path, smooth_field(shapes[0], seed=100), settings,
+                       slab_rows=slab_rows).close()
+    for step, shape in enumerate(shapes[1:], start=1):
+        append_shard(path, smooth_field(shape, seed=100 + step),
+                     slab_rows=slab_rows).close()
+    return path
+
+
+class TestManifest:
+    def test_init_round_trip(self, tmp_path, settings):
+        path = _grown(tmp_path, settings, shapes=((16, 8),))
+        manifest = load_manifest(path)
+        assert manifest["format"] == "repro-sharded-store"
+        assert manifest["version"] == 1
+        assert manifest["codec"] == "pyblaz"
+        assert manifest["shape"] == [16, 8]
+        assert manifest["revision"] == 1
+        (entry,) = manifest["shards"]
+        assert entry["file"] == shard_filename(0)
+        assert entry["rows"] == 16
+        assert entry["chunk_rows"] == [8, 8]
+        assert entry["partials"] is True
+        assert entry["n_bytes"] == (path / entry["file"]).stat().st_size
+
+    def test_append_accumulates_shape_and_revision(self, tmp_path, settings):
+        path = _grown(tmp_path, settings, shapes=((16, 8), (8, 8), (4, 8)))
+        manifest = load_manifest(path)
+        assert manifest["shape"] == [28, 8]
+        assert manifest["revision"] == 3
+        assert [entry["file"] for entry in manifest["shards"]] == [
+            shard_filename(0), shard_filename(1), shard_filename(2),
+        ]
+        with ShardedStore(path) as store:
+            assert store.shape == (28, 8)
+            assert store.n_shards == 3
+            assert store.revision == 3
+            assert store.chunk_rows == (8, 8, 8, 4)
+
+    def test_atomic_publish_leaves_no_temp(self, tmp_path, settings):
+        path = _grown(tmp_path, settings)
+        assert not (path / (MANIFEST_NAME + ".tmp")).exists()
+
+    def test_newer_layout_version_rejected(self, tmp_path, settings):
+        path = _grown(tmp_path, settings, shapes=((16, 8),))
+        manifest = load_manifest(path)
+        manifest["version"] = 2
+        save_manifest(path, manifest)
+        with pytest.raises(CodecError, match="layout version 2"):
+            ShardedStore(path)
+
+    def test_foreign_format_rejected(self, tmp_path):
+        target = tmp_path / "foreign.shards"
+        target.mkdir()
+        (target / MANIFEST_NAME).write_text('{"format": "something-else"}')
+        assert is_sharded_store(target)  # the file exists; loading rejects it
+        with pytest.raises(CodecError, match="not a sharded store"):
+            load_manifest(target)
+
+    def test_garbled_manifest_rejected(self, tmp_path):
+        target = tmp_path / "garbled.shards"
+        target.mkdir()
+        (target / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(CodecError, match="cannot read"):
+            load_manifest(target)
+
+    def test_inconsistent_chunk_rows_rejected(self, tmp_path, settings):
+        path = _grown(tmp_path, settings, shapes=((16, 8),))
+        manifest = load_manifest(path)
+        manifest["shards"][0]["chunk_rows"] = [8, 4]  # no longer sums to shape
+        save_manifest(path, manifest)
+        with pytest.raises(CodecError, match="corrupt sharded manifest"):
+            ShardedStore(path)
+
+    def test_plain_paths_are_not_sharded_stores(self, tmp_path):
+        assert not is_sharded_store(tmp_path)  # dir without a manifest
+        probe = tmp_path / "file.pblzc"
+        probe.write_bytes(b"x")
+        assert not is_sharded_store(probe)
+
+
+class TestInitAppendValidation:
+    def test_init_refuses_non_empty_directory(self, tmp_path, settings):
+        target = tmp_path / "busy"
+        target.mkdir()
+        (target / "stray").write_text("x")
+        with pytest.raises(CodecError, match="not an .?empty"):
+            init_sharded_store(target, smooth_field((8, 8)), settings)
+
+    def test_init_refuses_existing_file(self, tmp_path, settings):
+        target = tmp_path / "taken"
+        target.write_text("x")
+        with pytest.raises(CodecError):
+            init_sharded_store(target, smooth_field((8, 8)), settings)
+
+    def test_append_trailing_shape_mismatch(self, tmp_path, settings):
+        path = _grown(tmp_path, settings, shapes=((16, 8),))
+        with pytest.raises(CodecError, match="trailing shape"):
+            append_shard(path, smooth_field((8, 12), seed=5))
+
+    def test_append_codec_mismatch(self, tmp_path, settings):
+        path = _grown(tmp_path, settings, shapes=((16, 8),))
+        with pytest.raises(CodecError, match="cannot.*append"):
+            append_shard(path, smooth_field((8, 8), seed=5), codec="huffman")
+
+    def test_append_after_ragged_shard_is_rejected(self, tmp_path, settings):
+        # 10 rows with block extent 4: the shard's tail chunk is ragged, so it
+        # must stay the globally last chunk — appending would bury it
+        path = tmp_path / "ragged.shards"
+        init_sharded_store(path, smooth_field((10, 8)), settings,
+                           slab_rows=8).close()
+        with pytest.raises(CodecError, match="partial block row"):
+            append_shard(path, smooth_field((8, 8), seed=5))
+
+    def test_bad_codec_argument(self, tmp_path):
+        with pytest.raises(CodecError, match="codec name"):
+            init_sharded_store(tmp_path / "s", smooth_field((8, 8)), 42)
+
+
+class TestOpenStoreDispatch:
+    def test_dispatch_by_layout(self, tmp_path, settings):
+        sharded_path = _grown(tmp_path, settings, shapes=((16, 8),))
+        single_path = tmp_path / "single.pblzc"
+        stream_compress(smooth_field((16, 8)), single_path,
+                        get_codec("pyblaz", settings=settings),
+                        slab_rows=8).close()
+        with open_store(sharded_path) as sharded:
+            assert isinstance(sharded, ShardedStore)
+        with open_store(single_path) as single:
+            assert isinstance(single, CompressedStore)
+
+
+class TestLazyShardsAndGeometry:
+    def test_region_reads_open_only_intersecting_shards(self, tmp_path, settings):
+        path = _grown(tmp_path, settings, shapes=((16, 8), (8, 8), (8, 8)))
+        with ShardedStore(path) as store:
+            head = store.load_region(slice(0, 8))
+            assert head.shape == (8, 8)
+            assert set(store._shards) == {0}  # shards 1 and 2 never opened
+            store.load_region(slice(24, 32))  # rows owned by shard 2
+            assert set(store._shards) == {0, 2}
+
+    def test_load_matches_source_arrays(self, tmp_path, settings):
+        parts = [smooth_field((16, 8), seed=100), smooth_field((8, 8), seed=101)]
+        path = _grown(tmp_path, settings)
+        whole = np.concatenate(parts, axis=0)
+        with ShardedStore(path) as store:
+            assert store.dtype == np.float64
+            assert store.settings is not None
+            loaded = store.load()
+            assert loaded.shape == whole.shape
+            # lossy codec: close to the source, exactly equal per-region reads
+            assert np.allclose(loaded, whole, atol=0.05)
+            assert np.array_equal(store.load_region(slice(4, 20)), loaded[4:20])
+            assert np.array_equal(store.load_region(17), loaded[17])
+            empty = store.load_region(slice(5, 5))
+            assert empty.shape == (0, 8) and empty.dtype == np.float64
+
+    def test_chunks_read_sums_over_shards(self, tmp_path, settings):
+        path = _grown(tmp_path, settings)
+        with ShardedStore(path) as store:
+            assert store.chunks_read == 0
+            store.load()
+            assert store.chunks_read == store.n_chunks
+            assert store.locate(0) == (0, 0)
+            assert store.locate(store.n_chunks - 1) == (1, 0)
+
+
+class TestStalenessLadder:
+    def _mean_plan(self, store):
+        return engine.plan({"m": expr.mean(expr.source(store))})
+
+    def test_no_partials_append_marks_stale_then_refresh(self, tmp_path, settings):
+        path = tmp_path / "stale.shards"
+        init_sharded_store(path, smooth_field((16, 8), seed=1), settings,
+                           slab_rows=8).close()
+        append_shard(path, smooth_field((8, 8), seed=2), slab_rows=8,
+                     update_partials=False).close()
+        assert not (path / partials_filename(1)).exists()
+
+        with ShardedStore(path, use_partials=False) as swept:
+            cold = self._mean_plan(swept).execute()
+        with ShardedStore(path) as stale:
+            assert not stale.partials_fresh()
+            assert stale.fold_state("dc") is None
+            plan = self._mean_plan(stale)
+            assert plan.execute() == cold  # clean fallback to a full sweep
+            assert plan.last_execution["incremental_groups"] == 0
+            revision = stale.revision
+
+        assert refresh_partials(path) == 1
+        assert refresh_partials(path) == 0  # idempotent: nothing left stale
+        with ShardedStore(path) as fresh:
+            assert fresh.partials_fresh()
+            assert fresh.revision == revision  # refresh never bumps revision
+            plan = self._mean_plan(fresh)
+            assert plan.execute() == cold
+            assert plan.last_execution["incremental_groups"] == 1
+
+    def test_missing_sidecar_is_stale(self, tmp_path, settings):
+        path = _grown(tmp_path, settings)
+        (path / partials_filename(1)).unlink()
+        with ShardedStore(path) as store:
+            assert not store.partials_fresh()
+            assert store.fold_state("square") is None
+        assert refresh_partials(path) == 1
+        with ShardedStore(path) as store:
+            assert store.partials_fresh()
+
+    def test_size_drift_is_stale(self, tmp_path, settings):
+        path = _grown(tmp_path, settings)
+        with open(path / shard_filename(0), "ab") as handle:
+            handle.write(b"\0")  # in-place rewrite changed the byte size
+        with ShardedStore(path) as store:
+            assert not store.partials_fresh()
+            assert store.fold_state("dc") is None
+
+    def test_use_partials_false_disables_serving(self, tmp_path, settings):
+        path = _grown(tmp_path, settings)
+        with ShardedStore(path, use_partials=False) as store:
+            assert not store.partials_fresh()
+            assert store.fold_state("dc") is None
+
+
+class TestFoldStateAssembly:
+    def test_rename_and_counts(self, tmp_path, settings):
+        path = _grown(tmp_path, settings)
+        with ShardedStore(path) as store:
+            state = store.fold_state("square", rename="product")
+            assert state is not None
+            assert set(state.sums) == {"product"}
+            assert len(state.sums["product"]) == store.n_shards
+            assert state.n_elements == 24 * 8
+            dc = store.fold_state("dc")
+            assert dc.dc_scale is not None
+
+    def test_unknown_fold_returns_none(self, tmp_path, settings):
+        path = _grown(tmp_path, settings)
+        with ShardedStore(path) as store:
+            assert store.fold_state("diff_square") is None
+            assert store.fold_state("centered_square") is None
+
+
+class TestNonPyblazShards:
+    def test_huffman_sharded_store_round_trips_without_partials(self, tmp_path):
+        field = np.arange(16 * 8, dtype=np.int16).reshape(16, 8)
+        path = tmp_path / "lossless.shards"
+        init_sharded_store(path, field, "huffman", slab_rows=8).close()
+        append_shard(path, field + 1, slab_rows=8).close()
+        manifest = load_manifest(path)
+        assert all(not entry["partials"] for entry in manifest["shards"])
+        assert refresh_partials(path) == 0  # no fold algebra: nothing to write
+        with ShardedStore(path) as store:
+            assert store.settings is None
+            assert store.dtype == np.int16
+            assert store.fold_state("dc") is None
+            assert np.array_equal(store.load(),
+                                  np.concatenate([field, field + 1], axis=0))
+
+
+class TestVerifyRepairRecursion:
+    def _corrupt(self, path, shard_index: int) -> None:
+        target = path / shard_filename(shard_index)
+        size = target.stat().st_size
+        with open(target, "r+b") as handle:
+            handle.seek(size // 2)
+            handle.write(b"\xff" * 8)
+
+    def test_clean_store_verifies(self, tmp_path, settings):
+        path = _grown(tmp_path, settings)
+        report = verify_sharded_store(path)
+        assert report.ok and report.corrupt_shards == []
+        assert "store OK" in report.describe()
+        assert report.to_dict()["sharded"] is True
+
+    def test_corruption_names_shard_and_chunk(self, tmp_path, settings):
+        path = _grown(tmp_path, settings)
+        self._corrupt(path, 1)
+        report = verify_sharded_store(path)
+        assert not report.ok
+        assert report.corrupt_shards == [1]
+        text = report.describe()
+        assert f"shard 1 ({shard_filename(1)})" in text
+        assert "CORRUPT" in text and "shard 0" not in text.split("shard 1")[1]
+
+    def test_repair_from_mirror_restores_and_keeps_partials(self, tmp_path, settings):
+        import shutil
+
+        path = _grown(tmp_path, settings)
+        mirror = tmp_path / "mirror.shards"
+        shutil.copytree(path, mirror)
+        with ShardedStore(path) as store:
+            expected = engine.plan({"m": expr.mean(expr.source(store))}).execute()
+        self._corrupt(path, 1)
+
+        report = repair_sharded_store(path, mirror)
+        assert report.ok
+        manifest = load_manifest(path)
+        assert manifest["revision"] == 2  # logical content unchanged: no bump
+        with ShardedStore(path) as repaired:
+            assert repaired.partials_fresh()  # sizes/CRCs refreshed in place
+            plan = engine.plan({"m": expr.mean(expr.source(repaired))})
+            assert plan.execute() == expected
+            assert plan.last_execution["incremental_groups"] == 1
+
+    def test_repair_with_unreadable_manifest_refuses(self, tmp_path, settings):
+        path = _grown(tmp_path, settings)
+        (path / MANIFEST_NAME).write_text("{broken")
+        with pytest.raises(CodecError, match="restore the manifest"):
+            repair_sharded_store(path, tmp_path)

@@ -172,3 +172,35 @@ class TestClosedWriterErrors:
         writer.finalize()  # second finalize stays a no-op, not an error
         with CompressedStore(tmp_path / "ok.st") as store:
             assert store.shape == (8, 8)
+
+
+class TestDtypeProbeMemoized:
+    """``CompressedStore.dtype`` must pay its chunk-0 probe at most once.
+
+    For codecs without pyblaz settings (huffman) the dtype is recovered by
+    decoding chunk 0's record; the result is memoized, so repeated ``.dtype``
+    accesses — every ``load_region`` call consults it — cost at most one
+    record read over the store's lifetime.
+    """
+
+    def test_non_pyblaz_dtype_reads_chunk_zero_once(self, tmp_path):
+        field = np.arange(32 * 8, dtype=np.int16).reshape(32, 8)
+        with stream_compress(field, tmp_path / "h.st", get_codec("huffman"),
+                             slab_rows=8) as store:
+            reads = []
+            original = store.read_payload
+            store.read_payload = lambda index: (reads.append(index),
+                                                original(index))[1]
+            for _ in range(5):
+                assert store.dtype == np.int16
+            assert reads == [0]  # probed once, then served from the memo
+            store.load_region(slice(3, 3))  # empty selections also use it
+            assert reads == [0]
+
+    def test_pyblaz_dtype_never_reads_a_chunk(self, tmp_path, settings):
+        field = smooth_field((32, 8), seed=17)
+        chunked = ChunkedCompressor(settings, slab_rows=8)
+        with chunked.compress_to_store(field, tmp_path / "p.st") as store:
+            for _ in range(3):
+                assert store.dtype == np.float64
+            assert store.chunks_read == 0  # settings alone answer the probe
