@@ -69,11 +69,13 @@ Examples
     repro stream-ops mean climate.shards
     repro stream-ops dot a.pblzc b.pblzc
     repro stream-ops mean a.pblzc --workers 4
+    repro stream-ops mean a.pblzc --prefetch 0
     repro stream-ops evaluate a.pblzc b.pblzc --op mean --op variance --op dot --json
     repro stream-ops add a.pblzc b.pblzc --out sum.pblzc --workers 4
     repro stream-ops scale a.pblzc --scalar 2.5 --out scaled.pblzc
     repro serve temps=temps.pblzc wind=wind.pblzc --port 7777
     repro serve temps=temps.pblzc --port 7777 --deadline 5 --max-in-flight 64
+    repro serve temps=temps.pblzc --port 7777 --prefetch 0
     repro query --port 7777 --op mean:temps --op covariance:temps,wind --json
     repro query --port 7777 --op mean:temps --retries 3 --deadline 10
     repro query --port 7777 --stats
@@ -292,6 +294,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "`evaluate` (default: reference, bit-exact; gemm/"
                             "numba compile one kernel per fused pass — see "
                             "docs/engine.md 'Compiled plans')")
+    p_ops.add_argument("--prefetch", type=int, default=None, metavar="N",
+                       help="chunk readahead depth: coalesced record spans "
+                            "fetched ahead of the sweep on a small thread pool "
+                            "(default: auto; 0 disables the pipeline — see "
+                            "docs/performance.md)")
 
     p_serve = sub.add_parser(
         "serve",
@@ -334,6 +341,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="process-pool workers for batch execution; a "
                               "crashed pool degrades the batch to a serial "
                               "re-run (default: 0 = in-process serial)")
+    p_serve.add_argument("--prefetch", type=int, default=None, metavar="N",
+                         help="warm-path control: each batch's store chunks "
+                              "are decoded into the chunk cache ahead of the "
+                              "plan sweep (default: on when caching; 0 "
+                              "disables — see docs/performance.md)")
 
     p_query = sub.add_parser(
         "query",
@@ -686,7 +698,8 @@ def _cmd_stream_ops(args: argparse.Namespace) -> int:
                                           args.true_mean)
         fused = engine.plan(expressions)
         start = time.perf_counter()
-        values = fused.execute(executor=executor, backend=args.backend)
+        values = fused.execute(executor=executor, backend=args.backend,
+                               prefetch=args.prefetch)
         seconds = time.perf_counter() - start
         executed = fused.last_execution or {}
         if args.json:
@@ -703,6 +716,8 @@ def _cmd_stream_ops(args: argparse.Namespace) -> int:
                 "interpreted_groups": executed.get("interpreted_groups"),
                 "incremental_groups": executed.get("incremental_groups"),
                 "compile_seconds": executed.get("compile_seconds"),
+                "io_seconds": executed.get("io_seconds"),
+                "prefetch_depth": executed.get("prefetch_depth"),
                 "describe": fused.describe(),
             }))
         else:
@@ -732,10 +747,12 @@ def _cmd_stream_ops(args: argparse.Namespace) -> int:
                 if operation not in _ARRAY_OPS:
                     return run_scalars(store_a, None)
                 if operation == "negate":
-                    out = stream_ops.negate(store_a, args.out, executor=executor)
+                    out = stream_ops.negate(store_a, args.out, executor=executor,
+                                            prefetch=args.prefetch)
                 else:
                     out = stream_ops.scale(store_a, args.scalar, args.out,
-                                           executor=executor)
+                                           executor=executor,
+                                           prefetch=args.prefetch)
                 with out:
                     report_store(out)
                 return 0
@@ -743,7 +760,8 @@ def _cmd_stream_ops(args: argparse.Namespace) -> int:
                 if operation not in _ARRAY_OPS:
                     return run_scalars(store_a, store_b)
                 mapped = stream_ops.add if operation == "add" else stream_ops.subtract
-                with mapped(store_a, store_b, args.out, executor=executor) as out:
+                with mapped(store_a, store_b, args.out, executor=executor,
+                            prefetch=args.prefetch) as out:
                     report_store(out)
                 return 0
     except CodecError:
@@ -798,7 +816,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                backend=args.backend,
                                deadline=args.deadline,
                                max_in_flight=args.max_in_flight,
-                               workers=args.workers)
+                               workers=args.workers,
+                               prefetch=args.prefetch)
 
         async def run() -> None:
             host, port = await service.start(args.host, args.port)

@@ -54,6 +54,7 @@ in chunk order, keeping results identical to the serial sweep.
 from __future__ import annotations
 
 import math
+import time
 from collections import Counter
 from typing import Mapping
 
@@ -441,7 +442,8 @@ class Plan:
         return states
 
     def _run_pass(self, pass_: PlanPass, extras: tuple, executor,
-                  backend: str, run_stats: dict) -> list:
+                  backend: str, run_stats: dict,
+                  prefetch: int | None = None) -> list:
         """Execute one pass; return the combined state per term (pass order).
 
         Each :class:`PassGroup` runs its own aligned sweep over its connected
@@ -460,6 +462,13 @@ class Plan:
         not lower, and backends that decline, interpret exactly as the
         default path.  ``run_stats`` accumulates the per-group mode counts
         and JIT compile seconds reported via :attr:`last_execution`.
+
+        ``prefetch`` passes through to the serial path's aligned iterator
+        (:func:`repro.streaming.sources.aligned_chunks`): store sources read
+        ahead through the pipelined prefetcher, and the time this sweep still
+        spends *blocked* waiting on chunks accumulates into
+        ``run_stats["io_seconds"]`` — with readahead working, that approaches
+        zero even though the same records were read.
         """
         extra_by_term = dict(zip(pass_.terms, extras))
         state_by_term: dict = {}
@@ -516,46 +525,61 @@ class Plan:
                 slots = tuple(slot for slot, _ in source_items)
                 kernel = None
                 kernel_resolved = False
-                for chunks in aligned_chunks(sources):
-                    if lowering is not None and not kernel_resolved:
-                        kernel_resolved = True
-                        signature = plan_compile.signature_for(
-                            lowering, chunks[0].settings
-                        )
-                        if signature is not None:
-                            kernel, seconds = plan_compile.get_pass_kernel(
-                                backend, signature
+                iterator = aligned_chunks(sources, prefetch=prefetch)
+                sentinel = object()
+                try:
+                    while True:
+                        fetch_start = time.perf_counter()
+                        chunks = next(iterator, sentinel)
+                        run_stats["io_seconds"] += time.perf_counter() - fetch_start
+                        if chunks is sentinel:
+                            break
+                        if lowering is not None and not kernel_resolved:
+                            kernel_resolved = True
+                            signature = plan_compile.signature_for(
+                                lowering, chunks[0].settings
                             )
-                            run_stats["compile_seconds"] += seconds
-                    states = None
-                    if kernel is not None:
-                        try:
-                            fault = faults.active_plan()
-                            if fault is not None:
-                                fault.check_compiled_kernel()
-                            states = plan_compile.run_compiled_step(
-                                kernel, lowering, chunks, group_extras
-                            )
-                        except Exception as exc:
-                            # degrade, don't fail: the decoded chunks are
-                            # untouched, so the interpreted path below resumes
-                            # this chunk and finishes the group bit-exactly
-                            kernel = None
-                            run_stats["runtime_fallbacks"] += 1
-                            run_stats["fallback_reason"] = (
-                                f"compiled {backend} kernel failed at runtime "
-                                f"({exc}); interpreting the rest of this group"
-                            )
-                    if states is None:
-                        values = dict(zip(slots, chunks))
-                        chunks = None  # the step owns the chunks now
-                        states = _evaluate_chunk_terms(self._program, values,
-                                                       group.terms, group_extras)
-                        values = None  # drop coefficients before the next decode
-                    else:
-                        chunks = None
-                    for bucket, state in zip(collected, states):
-                        bucket.append(state)
+                            if signature is not None:
+                                kernel, seconds = plan_compile.get_pass_kernel(
+                                    backend, signature
+                                )
+                                run_stats["compile_seconds"] += seconds
+                        states = None
+                        if kernel is not None:
+                            try:
+                                fault = faults.active_plan()
+                                if fault is not None:
+                                    fault.check_compiled_kernel()
+                                states = plan_compile.run_compiled_step(
+                                    kernel, lowering, chunks, group_extras
+                                )
+                            except Exception as exc:
+                                # degrade, don't fail: the decoded chunks are
+                                # untouched, so the interpreted path below
+                                # resumes this chunk and finishes the group
+                                # bit-exactly
+                                kernel = None
+                                run_stats["runtime_fallbacks"] += 1
+                                run_stats["fallback_reason"] = (
+                                    f"compiled {backend} kernel failed at "
+                                    f"runtime ({exc}); interpreting the rest "
+                                    "of this group"
+                                )
+                        if states is None:
+                            values = dict(zip(slots, chunks))
+                            chunks = None  # the step owns the chunks now
+                            states = _evaluate_chunk_terms(self._program, values,
+                                                           group.terms,
+                                                           group_extras)
+                            values = None  # drop coefficients before the next decode
+                        else:
+                            chunks = None
+                        for bucket, state in zip(collected, states):
+                            bucket.append(state)
+                finally:
+                    # closing the aligned iterator shuts any prefetch pools
+                    # down promptly, even when a fold error aborts the sweep
+                    iterator.close()
                 run_stats["compiled_groups" if kernel is not None
                           else "interpreted_groups"] += 1
             for term, bucket in zip(group.terms, collected):
@@ -565,11 +589,19 @@ class Plan:
                 state_by_term[term] = combined
         return [state_by_term[term] for term in pass_.terms]
 
-    def execute(self, *, executor=None, backend=None):
+    def execute(self, *, executor=None, backend=None, prefetch=None):
         """Run every pass and finalize the requested scalars.
 
         Returns a dict keyed like the request, a list for a sequence request,
         or the bare scalar for a single-expression request.
+
+        ``prefetch`` controls the pipelined chunk readahead on serial sweeps
+        (``docs/performance.md``): ``None`` auto-enables it, ``0`` keeps the
+        strictly serial read→decode loop, a positive integer sets the
+        in-flight span window.  Results are bit-identical either way.
+        :attr:`last_execution` reports the resolved ``prefetch_depth`` and
+        ``io_seconds`` — the wall time sweeps spent blocked waiting on chunk
+        fetches.
 
         ``backend`` selects the kernel backend executing the fused chunk
         steps (registry names — see ``repro backends``): the default
@@ -585,6 +617,8 @@ class Plan:
         what actually ran.
         """
         self._validate_sources()
+        from ..streaming.prefetch import resolve_depth
+
         requested = backend if backend is not None else self.default_backend
         resolved, fallback = plan_compile.resolve_backend(requested, self.sources)
         run_stats = {
@@ -596,6 +630,8 @@ class Plan:
             "incremental_groups": 0,
             "runtime_fallbacks": 0,
             "compile_seconds": 0.0,
+            "io_seconds": 0.0,
+            "prefetch_depth": resolve_depth(prefetch),
         }
         states: dict = {}
         means: dict[int, float] = {}
@@ -603,7 +639,8 @@ class Plan:
             extras = self._extras(pass_.terms, means)
             for term, state in zip(pass_.terms,
                                    self._run_pass(pass_, extras, executor,
-                                                  resolved, run_stats)):
+                                                  resolved, run_stats,
+                                                  prefetch)):
                 states[term] = state
             if pass_.index == 1 and self.n_passes == 2:
                 for name, slots in self.passes[1].terms:
@@ -830,11 +867,12 @@ def _group_terms(program: tuple, terms: tuple) -> tuple:
     return tuple(groups)
 
 
-def evaluate(request, *, executor=None, backend=None):
+def evaluate(request, *, executor=None, backend=None, prefetch=None):
     """Compile and run in one call: ``plan(request).execute(...)``.
 
-    ``backend`` passes straight through to :meth:`Plan.execute` — ``None``
-    keeps the bit-exact ``reference`` default (or the sources' settings
-    consensus).
+    ``backend`` and ``prefetch`` pass straight through to
+    :meth:`Plan.execute` — ``None`` keeps the bit-exact ``reference`` default
+    (or the sources' settings consensus) and the auto readahead depth.
     """
-    return plan(request).execute(executor=executor, backend=backend)
+    return plan(request).execute(executor=executor, backend=backend,
+                                 prefetch=prefetch)

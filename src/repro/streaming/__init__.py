@@ -39,10 +39,18 @@ Three layers:
   (``docs/engine.md``).  The historical
   ``stream_mean``/``stream_l2_norm``/``stream_dot`` names remain as
   deprecation shims.
+* :mod:`repro.streaming.prefetch` — the pipelined chunk I/O layer
+  (``docs/performance.md``): :class:`ChunkPrefetcher` fetches coalesced
+  record spans a bounded window ahead of the consumer on a small thread
+  pool, so decode/fold work overlaps the reads while chunk order, values and
+  counters stay bit-identical to the serial loop.  Default-on via
+  ``iter_chunks(prefetch=None)`` across plans, streaming ops, sharded sweeps
+  and serving; ``prefetch=0`` restores the serial path.
 """
 
 from . import ops
 from .chunked import ChunkedCompressor, stream_compress
+from .prefetch import ChunkPrefetcher, coalesce_spans, resolve_depth, warm_store_cache
 from .reductions import stream_dot, stream_l2_norm, stream_mean
 from .sharded import (
     ShardedStore,
@@ -55,10 +63,14 @@ from .sharded import (
 from .store import CompressedStore, CompressedStoreWriter, load_region
 
 __all__ = [
+    "ChunkPrefetcher",
     "ChunkedCompressor",
     "CompressedStore",
     "CompressedStoreWriter",
     "ShardedStore",
+    "coalesce_spans",
+    "resolve_depth",
+    "warm_store_cache",
     "append_shard",
     "init_sharded_store",
     "is_sharded_store",

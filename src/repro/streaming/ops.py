@@ -82,7 +82,8 @@ __all__ = [
 
 
 # ---------------------------------------------------------------------- scalar ops
-def mean(source, *, padded: bool = True, executor=None, backend=None) -> float:
+def mean(source, *, padded: bool = True, executor=None, backend=None,
+         prefetch=None) -> float:
     """Store-level mean (Algorithm 7), folded chunk-by-chunk.
 
     Matches :func:`repro.core.ops.mean` of the assembled array bit for bit
@@ -90,20 +91,20 @@ def mean(source, *, padded: bool = True, executor=None, backend=None) -> float:
     the zero-padded (paper) or original-element-count domain.
     """
     return engine.evaluate(expr.mean(source, padded=padded), executor=executor,
-                           backend=backend)
+                           backend=backend, prefetch=prefetch)
 
 
-def l2_norm(source, *, executor=None, backend=None) -> float:
+def l2_norm(source, *, executor=None, backend=None, prefetch=None) -> float:
     """Store-level L2 norm (Algorithm 10), folded chunk-by-chunk.
 
     Matches :func:`repro.core.ops.l2_norm` of the assembled array bit for bit;
     one square root at the end, so no per-chunk rounding is reintroduced.
     """
     return engine.evaluate(expr.l2_norm(source), executor=executor,
-                           backend=backend)
+                           backend=backend, prefetch=prefetch)
 
 
-def dot(a, b, *, executor=None, backend=None) -> float:
+def dot(a, b, *, executor=None, backend=None, prefetch=None) -> float:
     """Store-level dot product (Algorithm 6) of two identically chunked sources.
 
     Matches :func:`repro.core.ops.dot` of the assembled arrays bit for bit.
@@ -111,10 +112,11 @@ def dot(a, b, *, executor=None, backend=None) -> float:
     written with the same ``slab_rows`` satisfy this.
     """
     return engine.evaluate(expr.dot(a, b), executor=executor,
-                           backend=backend)
+                           backend=backend, prefetch=prefetch)
 
 
-def euclidean_distance(a, b, *, executor=None, backend=None) -> float:
+def euclidean_distance(a, b, *, executor=None, backend=None,
+                       prefetch=None) -> float:
     """Store-level Euclidean distance ``‖a − b‖₂`` without writing a difference.
 
     Matches :func:`repro.core.ops.euclidean_distance` of the assembled arrays
@@ -122,20 +124,21 @@ def euclidean_distance(a, b, *, executor=None, backend=None) -> float:
     rebinning error and no intermediate store.
     """
     return engine.evaluate(expr.euclidean_distance(a, b), executor=executor,
-                           backend=backend)
+                           backend=backend, prefetch=prefetch)
 
 
-def cosine_similarity(a, b, *, executor=None, backend=None) -> float:
+def cosine_similarity(a, b, *, executor=None, backend=None,
+                      prefetch=None) -> float:
     """Store-level cosine similarity (Algorithm 11) in one pass over the chunks.
 
     Matches :func:`repro.core.ops.cosine_similarity` of the assembled arrays
     bit for bit; raises ``ZeroDivisionError`` for zero-norm operands.
     """
     return engine.evaluate(expr.cosine_similarity(a, b), executor=executor,
-                           backend=backend)
+                           backend=backend, prefetch=prefetch)
 
 
-def variance(source, *, executor=None, backend=None) -> float:
+def variance(source, *, executor=None, backend=None, prefetch=None) -> float:
     """Store-level variance (Algorithm 9), two exact passes over the chunks.
 
     Pass 1 folds the global DC mean, pass 2 folds the squared centered
@@ -144,16 +147,17 @@ def variance(source, *, executor=None, backend=None) -> float:
     re-iterable (a store, or a sequence of chunks).
     """
     return engine.evaluate(expr.variance(source), executor=executor,
-                           backend=backend)
+                           backend=backend, prefetch=prefetch)
 
 
-def standard_deviation(source, *, executor=None, backend=None) -> float:
+def standard_deviation(source, *, executor=None, backend=None,
+                       prefetch=None) -> float:
     """Store-level standard deviation: the square root of :func:`variance`."""
     return engine.evaluate(expr.standard_deviation(source), executor=executor,
-                           backend=backend)
+                           backend=backend, prefetch=prefetch)
 
 
-def covariance(a, b, *, executor=None, backend=None) -> float:
+def covariance(a, b, *, executor=None, backend=None, prefetch=None) -> float:
     """Store-level covariance (Algorithm 8), two exact passes over the chunks.
 
     Pass 1 folds each source's global DC mean, pass 2 folds the centered
@@ -161,7 +165,7 @@ def covariance(a, b, *, executor=None, backend=None) -> float:
     arrays bit for bit.  Sources must be identically chunked and re-iterable.
     """
     return engine.evaluate(expr.covariance(a, b), executor=executor,
-                           backend=backend)
+                           backend=backend, prefetch=prefetch)
 
 
 # ---------------------------------------------------------------------- structural ops
@@ -188,7 +192,7 @@ def _structural_chunk_job(operation: str, paths: tuple, index: int, extra: tuple
 
 
 def _map_to_store(operation: str, sources: tuple, path, executor=None,
-                  extra: tuple = ()) -> CompressedStore:
+                  extra: tuple = (), prefetch=None) -> CompressedStore:
     """Apply an in-memory chunk operation chunk-by-chunk into a new store.
 
     The result store mirrors the source chunking; only one input chunk (pair)
@@ -204,6 +208,11 @@ def _map_to_store(operation: str, sources: tuple, path, executor=None,
     through the executor's ordered bounded-window ``imap_jobs`` — workers
     decode and transform concurrently, and the writer appends strictly in
     chunk order, so the output is bit-identical to the serial path.
+
+    On the serial path, ``prefetch`` (default auto) pipelines the input
+    store's record reads ahead of the transform-and-append loop, so the
+    writer never waits on the disk between chunks; ``prefetch=0`` restores
+    the strict serial loop (``docs/performance.md``).
     """
     transform = _STRUCTURAL_OPS[operation]
     if executor is not None and sources and all(
@@ -224,32 +233,36 @@ def _map_to_store(operation: str, sources: tuple, path, executor=None,
                 writer.append(chunk)
         return CompressedStore(path)
 
-    iterator = aligned_chunks(sources)
+    iterator = aligned_chunks(sources, prefetch=prefetch)
     try:
-        first = next(iterator)
-    except StopIteration:
-        raise ValueError("cannot operate on an empty chunk stream") from None
-    result = transform(*first, *extra)
-    first = None
-    with CompressedStoreWriter(path, result.settings) as writer:
-        writer.append(result)
-        result = None
-        for chunks in iterator:
-            writer.append(transform(*chunks, *extra))
-            chunks = None
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise ValueError("cannot operate on an empty chunk stream") from None
+        result = transform(*first, *extra)
+        first = None
+        with CompressedStoreWriter(path, result.settings) as writer:
+            writer.append(result)
+            result = None
+            for chunks in iterator:
+                writer.append(transform(*chunks, *extra))
+                chunks = None
+    finally:
+        iterator.close()
     return CompressedStore(path)
 
 
-def negate(source, path, *, executor=None) -> CompressedStore:
+def negate(source, path, *, executor=None, prefetch=None) -> CompressedStore:
     """Write the negated array to ``path`` chunk-by-chunk (Algorithm 1; exact).
 
     Bit-identical to :func:`repro.core.ops.negate` of the assembled array —
     negation touches only indices, so no rebinning occurs.
     """
-    return _map_to_store("negate", (source,), path, executor)
+    return _map_to_store("negate", (source,), path, executor, prefetch=prefetch)
 
 
-def scale(source, factor: float, path, *, executor=None) -> CompressedStore:
+def scale(source, factor: float, path, *, executor=None,
+          prefetch=None) -> CompressedStore:
     """Write ``factor · source`` to ``path`` chunk-by-chunk (Algorithm 5; exact).
 
     Scaling touches only the per-block maxima (and index signs); the result
@@ -261,10 +274,11 @@ def scale(source, factor: float, path, *, executor=None) -> CompressedStore:
     factor = float(factor)
     if not math.isfinite(factor):
         raise ValueError("scalar must be finite")
-    return _map_to_store("scale", (source,), path, executor, extra=(factor,))
+    return _map_to_store("scale", (source,), path, executor, extra=(factor,),
+                         prefetch=prefetch)
 
 
-def add(a, b, path, *, executor=None) -> CompressedStore:
+def add(a, b, path, *, executor=None, prefetch=None) -> CompressedStore:
     """Write the element-wise sum to ``path`` chunk-by-chunk (Algorithm 2).
 
     Error contract: rebinning only (half a bin width of the new per-block
@@ -272,13 +286,13 @@ def add(a, b, path, *, executor=None) -> CompressedStore:
     equals the serialized in-memory :func:`repro.core.ops.add` of the
     assembled arrays bit for bit.
     """
-    return _map_to_store("add", (a, b), path, executor)
+    return _map_to_store("add", (a, b), path, executor, prefetch=prefetch)
 
 
-def subtract(a, b, path, *, executor=None) -> CompressedStore:
+def subtract(a, b, path, *, executor=None, prefetch=None) -> CompressedStore:
     """Write the element-wise difference ``a − b`` to ``path`` chunk-by-chunk.
 
     Same rebinning-only contract (and serialized bit-identity to
     :func:`repro.core.ops.subtract`) as :func:`add`.
     """
-    return _map_to_store("subtract", (a, b), path, executor)
+    return _map_to_store("subtract", (a, b), path, executor, prefetch=prefetch)

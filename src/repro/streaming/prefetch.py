@@ -1,0 +1,351 @@
+"""Pipelined chunk readahead: coalesced record fetches ahead of the consumer.
+
+Every sweep in the repo — fused plan passes, streaming structural ops, sharded
+incremental folds, coalesced serving batches — walks chunks in a strict
+``pread → decode → fold`` loop, so the CPU idles during I/O and the disk idles
+during decode/fold.  :class:`ChunkPrefetcher` overlaps the two: a small thread
+pool fetches **payload spans** (adjacent chunk records coalesced into one
+``os.pread`` and split in memory) a bounded window ahead of the consumer,
+while the consumer thread decodes and yields chunks **in deterministic index
+order** — so every fold result stays bit-identical to the serial path.
+
+Division of labour, chosen by measurement rather than symmetry:
+
+* **Workers fetch, the consumer decodes.**  Record reads release the GIL
+  (``os.pread``, CRC-32), so fetching in threads overlaps genuinely with
+  decode/fold work.  Chunk *decoding* is dominated by GIL-held Python-object
+  work (stream parsing, settings reconstruction), so decoding in workers just
+  contends with the consumer — measured slower than serial.  Keeping decode on
+  the consumer thread also preserves the strict single-decode discipline the
+  engine's memory contract relies on.
+* **Spans, not single chunks.**  Submitting one future per chunk costs more
+  handoff than a small read saves; adjacent records within
+  :data:`DEFAULT_SPAN_BYTES` (capped at :data:`DEFAULT_SPAN_CHUNKS`) merge
+  into one positional read and one future.
+
+Fault tolerance matches the synchronous path exactly: span fetches run through
+:meth:`repro.streaming.CompressedStore.read_payload_span`, where the
+fault-injection hooks fire per chunk, version-3 CRCs are verified per chunk,
+and any failure falls back to the per-chunk
+:meth:`~repro.streaming.CompressedStore.read_payload` seam with its full retry
+policy.  Exceptions surface at the failing chunk's position in the yielded
+order, exactly as a serial reader would see them.
+
+Accounting: payload fetches count into ``chunks_prefetched`` as the worker
+completes them; ``chunks_read`` still counts only chunks actually *consumed*
+(yielded or cache-served), so an aborted pipeline leaves
+``chunks_prefetched > chunks_read`` instead of silently inflating the read
+counters that pass-count tests assert on.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "ChunkPrefetcher",
+    "coalesce_spans",
+    "resolve_depth",
+    "warm_store_cache",
+    "DEFAULT_PREFETCH_WORKERS",
+    "DEFAULT_SPAN_BYTES",
+    "DEFAULT_SPAN_CHUNKS",
+]
+
+#: Fetch threads per prefetcher.  Two is enough to hide one read behind one
+#: decode on the measured workloads; more threads add GIL handoffs, not speed.
+DEFAULT_PREFETCH_WORKERS = 2
+
+#: Coalescing budget: adjacent chunk records are merged into one positional
+#: read while their combined size stays under this many bytes.
+DEFAULT_SPAN_BYTES = 1 << 20
+
+#: Cap on records per coalesced span, so tiny-chunk stores still pipeline at a
+#: useful granularity instead of fetching everything in one giant span.
+DEFAULT_SPAN_CHUNKS = 8
+
+#: Auto mode leaves stores with fewer chunks than this on the serial path —
+#: the pool spin-up would cost more than the overlap saves.
+_MIN_AUTO_CHUNKS = 4
+
+
+def resolve_depth(prefetch: int | None, *, n_chunks: int | None = None,
+                  workers: int = DEFAULT_PREFETCH_WORKERS) -> int:
+    """Resolve a user-facing ``prefetch`` setting into an in-flight span depth.
+
+    ``None`` selects auto: ~2× the fetch-worker count, except for stores of
+    fewer than a handful of chunks (when ``n_chunks`` is known) where the
+    serial path wins.  ``0`` disables prefetching outright; a positive integer
+    is used verbatim as the bounded window of span fetches in flight.
+    Negative values raise ``ValueError``.
+    """
+    if prefetch is None:
+        if n_chunks is not None and n_chunks < _MIN_AUTO_CHUNKS:
+            return 0
+        return 2 * max(1, int(workers))
+    depth = int(prefetch)
+    if depth < 0:
+        raise ValueError(f"prefetch depth must be >= 0, got {prefetch!r}")
+    return depth
+
+
+def coalesce_spans(extents: Sequence[tuple[int, int, int]], *,
+                   max_bytes: int = DEFAULT_SPAN_BYTES,
+                   max_chunks: int = DEFAULT_SPAN_CHUNKS,
+                   ) -> list[list[tuple[int, int, int]]]:
+    """Group ``(index, offset, n_bytes)`` records into contiguous read spans.
+
+    A span extends while the next record starts exactly where the previous one
+    ended (chunk records are written back to back, so any gap means the caller
+    skipped a chunk), the span stays within ``max_bytes``, and it holds at
+    most ``max_chunks`` records.  Every record lands in exactly one span, in
+    input order; a single record larger than ``max_bytes`` gets its own span.
+    """
+    spans: list[list[tuple[int, int, int]]] = []
+    current: list[tuple[int, int, int]] = []
+    current_bytes = 0
+    for record in extents:
+        _, offset, n_bytes = record
+        if current:
+            last_index, last_offset, last_bytes = current[-1]
+            contiguous = offset == last_offset + last_bytes
+            fits = (current_bytes + n_bytes <= max_bytes
+                    and len(current) < max_chunks)
+            if not (contiguous and fits):
+                spans.append(current)
+                current = []
+                current_bytes = 0
+        current.append(record)
+        current_bytes += n_bytes
+    if current:
+        spans.append(current)
+    return spans
+
+
+def _segment_tasks(store, indices: Iterable[int]) -> Iterator[tuple[object, list[int]]]:
+    """Split global chunk ``indices`` into per-underlying-store runs.
+
+    Plain :class:`~repro.streaming.CompressedStore` sources yield one segment.
+    Sharded stores yield one segment per run of consecutive indices living in
+    the same shard — shards are opened lazily, only when their segment is
+    consumed, preserving the sharded store's lazy-open contract.
+    """
+    locate = getattr(store, "locate", None)
+    if locate is None:
+        run = list(indices)
+        if run:
+            yield store, run
+        return
+    run_shard: int | None = None
+    run: list[int] = []
+    for index in indices:
+        shard_index, local = locate(index)
+        if run and shard_index != run_shard:
+            yield store.shard(run_shard), run
+            run = []
+        run_shard = shard_index
+        run.append(local)
+    if run:
+        yield store.shard(run_shard), run
+
+
+def _shutdown_pool(pool: ThreadPoolExecutor) -> None:
+    """Finalizer body: stop the fetch pool, dropping any queued spans."""
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _absorb_exception(future: Future) -> None:
+    """Retrieve an abandoned future's exception so it is never logged as lost.
+
+    Consumed futures re-raise through ``result()`` regardless; this only
+    silences the interpreter's "exception was never retrieved" warning for
+    spans dropped by an aborted pipeline.
+    """
+    if not future.cancelled():
+        future.exception()
+
+
+class ChunkPrefetcher:
+    """Bounded-window pipelined reader over a store's chunks.
+
+    Iterating a prefetcher yields the same decoded chunk objects, in the same
+    order, as ``store.read_chunk(i) for i in indices`` — but record fetches
+    run up to ``depth`` coalesced spans ahead on a small thread pool, so the
+    consumer's decode/fold work overlaps the I/O.
+
+    Parameters
+    ----------
+    store:
+        An open :class:`~repro.streaming.CompressedStore` or
+        :class:`~repro.streaming.ShardedStore`.
+    indices:
+        Global chunk indices to yield, in order (default: every chunk).
+    depth:
+        Maximum coalesced span fetches in flight (``None`` → auto, ~2× the
+        worker count).  ``0`` degenerates to the serial read path.
+    workers:
+        Fetch threads (default :data:`DEFAULT_PREFETCH_WORKERS`).
+    span_bytes, span_chunks:
+        Coalescing budget per span (see :func:`coalesce_spans`).
+
+    A prefetcher is **single-use**: iterate it once, then :meth:`close` it
+    (closing is automatic when the iteration ends, is abandoned, or the
+    prefetcher is garbage-collected — a ``weakref.finalize`` guarantees the
+    pool's threads are joined, so aborted pipelines leak nothing).
+    """
+
+    def __init__(self, store, indices: Iterable[int] | None = None, *,
+                 depth: int | None = None,
+                 workers: int = DEFAULT_PREFETCH_WORKERS,
+                 span_bytes: int = DEFAULT_SPAN_BYTES,
+                 span_chunks: int = DEFAULT_SPAN_CHUNKS):
+        self.store = store
+        self.indices = (list(range(store.n_chunks)) if indices is None
+                        else [int(index) for index in indices])
+        self.workers = max(1, int(workers))
+        self.depth = resolve_depth(depth, workers=self.workers)
+        self.span_bytes = int(span_bytes)
+        self.span_chunks = int(span_chunks)
+        self._pool: ThreadPoolExecutor | None = None
+        self._finalizer: weakref.finalize | None = None
+
+    # ------------------------------------------------------------------ pipeline
+    def _spans(self) -> Iterator[tuple[object, list[int]]]:
+        """Yield ``(underlying store, local indices)`` fetch units lazily."""
+        for real, locals_ in _segment_tasks(self.store, self.indices):
+            extents = [(local, *real._record_extent(local)[:2])
+                       for local in locals_]
+            for span in coalesce_spans(extents, max_bytes=self.span_bytes,
+                                       max_chunks=self.span_chunks):
+                yield real, [index for index, _, _ in span]
+
+    @staticmethod
+    def _fetch_span(real, locals_: list[int]) -> list[tuple[str, object]]:
+        """Worker body: resolve one span's chunks from cache or disk.
+
+        Returns one ``("chunk", decoded)`` or ``("payload", bytes)`` item per
+        local index.  The single cache lookup per chunk here replaces (not
+        duplicates) the lookup ``read_chunk`` would have done, so cache
+        hit/miss counters stay identical to the serial path.  Fetched payloads
+        count into ``chunks_prefetched`` as soon as the span completes.
+        """
+        cache = real.chunk_cache
+        path = str(real.path)
+        items: list[tuple[str, object] | None] = []
+        misses: list[int] = []
+        for local in locals_:
+            chunk = cache.get((path, local)) if cache is not None else None
+            if chunk is not None:
+                items.append(("chunk", chunk))
+            else:
+                items.append(None)
+                misses.append(local)
+        if misses:
+            payloads = real.read_payload_span(misses)
+            real._note_prefetched(len(misses))
+            for position, local in enumerate(locals_):
+                if items[position] is None:
+                    items[position] = ("payload", payloads[local])
+        return items
+
+    def _consume(self, real, local: int, item: tuple[str, object]):
+        """Consumer body: decode one fetched item and count the logical read."""
+        kind, value = item
+        if kind == "payload":
+            chunk = real._chunk_from_payload(local, value)
+            cache = real.chunk_cache
+            if cache is not None:
+                cache.put((str(real.path), local), chunk)
+        else:
+            chunk = value
+        real._note_read()
+        return chunk
+
+    def __iter__(self) -> Iterator:
+        """Yield decoded chunks in request order, fetching ahead in spans."""
+        if self.depth == 0 or len(self.indices) <= 1:
+            for index in self.indices:
+                yield self.store.read_chunk(index)
+            return
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-prefetch"
+            )
+            self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+        spans = self._spans()
+        window: deque[tuple[object, list[int], Future]] = deque()
+
+        def submit_next() -> bool:
+            """Move one span from the plan into the in-flight window."""
+            try:
+                real, locals_ = next(spans)
+            except StopIteration:
+                return False
+            future = self._pool.submit(self._fetch_span, real, locals_)
+            future.add_done_callback(_absorb_exception)
+            window.append((real, locals_, future))
+            return True
+
+        try:
+            for _ in range(self.depth):
+                if not submit_next():
+                    break
+            while window:
+                real, locals_, future = window.popleft()
+                submit_next()  # keep the window full before blocking
+                items = future.result()
+                for local, item in zip(locals_, items):
+                    yield self._consume(real, local, item)
+        finally:
+            self.close()
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Stop the fetch pool and join its threads (idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer()
+
+    def __enter__(self) -> "ChunkPrefetcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ChunkPrefetcher(chunks={len(self.indices)}, "
+                f"depth={self.depth}, workers={self.workers})")
+
+
+def warm_store_cache(store, indices: Iterable[int] | None = None) -> int:
+    """Decode ``store``'s uncached chunks into its attached chunk cache.
+
+    The serving scheduler's warm path: span-reads every chunk of ``indices``
+    (default: all) that is not already cached, decodes it, and inserts it with
+    ``prefetched=True`` so the cache's prefetch effectiveness counters track
+    whether warmed entries were later used or evicted unused.  Warming counts
+    into ``chunks_prefetched`` but **not** ``chunks_read`` — no logical read
+    happened yet.  Returns the number of chunks warmed; a store without a
+    cache warms nothing.
+    """
+    if store.chunk_cache is None:
+        return 0
+    chunk_indices = range(store.n_chunks) if indices is None else indices
+    warmed = 0
+    for real, locals_ in _segment_tasks(store, chunk_indices):
+        cache = real.chunk_cache
+        if cache is None:  # pragma: no cover - shards share the parent cache
+            continue
+        path = str(real.path)
+        misses = [local for local in locals_ if (path, local) not in cache]
+        if not misses:
+            continue
+        payloads = real.read_payload_span(misses)
+        real._note_prefetched(len(misses))
+        for local in misses:
+            chunk = real._chunk_from_payload(local, payloads[local])
+            cache.put((path, local), chunk, prefetched=True)
+            warmed += 1
+    return warmed

@@ -414,7 +414,7 @@ class ShardedStore:
     ----------
     codec_name, shape, revision:
         Straight from the manifest (no shard file is opened).
-    chunks_read, read_retries:
+    chunks_read, chunks_prefetched, preads, read_retries:
         Sums over the shards opened so far — the same instrumentation
         contract tests rely on for single stores.
     chunk_cache:
@@ -477,6 +477,16 @@ class ShardedStore:
     def chunks_read(self) -> int:
         """Logical chunk reads so far, summed over the opened shards."""
         return sum(shard.chunks_read for shard in self._shards.values())
+
+    @property
+    def chunks_prefetched(self) -> int:
+        """Payloads fetched ahead by the readahead pipeline, over opened shards."""
+        return sum(shard.chunks_prefetched for shard in self._shards.values())
+
+    @property
+    def preads(self) -> int:
+        """Physical record reads issued, summed over the opened shards."""
+        return sum(shard.preads for shard in self._shards.values())
 
     @property
     def read_retries(self) -> int:
@@ -546,16 +556,52 @@ class ShardedStore:
         shard_index, local, _, _ = self._index[index]
         return shard_index, local
 
+    def _shard_runs(self, indices) -> Iterator[tuple[int, list[tuple[int, int]]]]:
+        """Split global chunk ``indices`` into consecutive same-shard runs.
+
+        Yields ``(shard index, [(global index, local index), ...])`` in input
+        order; the coalesced readers work per shard file, so runs are the unit
+        both :meth:`load_region` and the prefetcher fetch by.
+        """
+        run_shard: int | None = None
+        run: list[tuple[int, int]] = []
+        for index in indices:
+            shard_index, local = self.locate(index)
+            if run and shard_index != run_shard:
+                yield run_shard, run
+                run = []
+            run_shard = shard_index
+            run.append((index, local))
+        if run:
+            yield run_shard, run
+
     # -------------------------------------------------------------- chunk access
     def read_chunk(self, index: int):
         """Decode global chunk ``index`` (lazily opening its shard)."""
         shard_index, local, _, _ = self._index[index]
         return self.shard(shard_index).read_chunk(local)
 
-    def iter_chunks(self) -> Iterator:
-        """Yield every chunk's compressed object in global row order."""
-        for index in range(self.n_chunks):
-            yield self.read_chunk(index)
+    def iter_chunks(self, *, prefetch: int | None = None) -> Iterator:
+        """Yield every chunk's compressed object in global row order.
+
+        ``prefetch`` selects the pipelined readahead exactly as on
+        :meth:`CompressedStore.iter_chunks`; the prefetcher crosses shard
+        boundaries seamlessly (spans never straddle two shard files, but the
+        window does, so the next shard's records are already in flight while
+        the previous shard's tail decodes).
+        """
+        from .prefetch import ChunkPrefetcher, resolve_depth
+
+        depth = resolve_depth(prefetch, n_chunks=self.n_chunks)
+        if depth == 0:
+            for index in range(self.n_chunks):
+                yield self.read_chunk(index)
+            return
+        fetcher = ChunkPrefetcher(self, depth=depth)
+        try:
+            yield from fetcher
+        finally:
+            fetcher.close()
 
     def decompress_chunk(self, chunk) -> np.ndarray:
         """Decompress one chunk object with the store's codec."""
@@ -621,7 +667,8 @@ class ShardedStore:
             if step <= 0:
                 raise ValueError("load_region requires a positive step along axis 0")
 
-        parts = []
+        selected: list[int] = []
+        local_by_index: dict[int, slice] = {}
         for chunk_index, (_, _, n_rows, row_start) in enumerate(self._index):
             row_end = row_start + n_rows
             if row_end <= start or row_start >= stop:
@@ -633,9 +680,24 @@ class ShardedStore:
             global_stop = min(stop, row_end)
             if global_first >= global_stop:
                 continue
-            decompressed = self.decompress_chunk(self.read_chunk(chunk_index))
-            local = slice(global_first - row_start, global_stop - row_start, step)
-            parts.append(decompressed[(local,) + region[1:]])
+            selected.append(chunk_index)
+            local_by_index[chunk_index] = slice(
+                global_first - row_start, global_stop - row_start, step
+            )
+
+        parts = []
+        for run_shard, run in self._shard_runs(selected):
+            # each shard's intersecting records go through its coalescing
+            # reader — one positional read per adjacent span, not per chunk
+            shard = self.shard(run_shard)
+            for (_, chunk), chunk_index in zip(
+                shard._iter_chunks_coalesced([local for _, local in run]),
+                (global_index for global_index, _ in run),
+            ):
+                decompressed = self.decompress_chunk(chunk)
+                parts.append(
+                    decompressed[(local_by_index[chunk_index],) + region[1:]]
+                )
 
         if parts:
             assembled = np.concatenate(parts, axis=0)

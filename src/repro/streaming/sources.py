@@ -42,35 +42,55 @@ def require_pyblaz(store) -> None:
         )
 
 
-def source_chunks(source) -> Iterator[CompressedArray]:
-    """Iterate a source's chunks: a store's records or an iterable's items."""
+def source_chunks(source, *, prefetch: int | None = None) -> Iterator[CompressedArray]:
+    """Iterate a source's chunks: a store's records or an iterable's items.
+
+    ``prefetch`` passes through to :meth:`CompressedStore.iter_chunks
+    <repro.streaming.CompressedStore.iter_chunks>` for store sources (``None``
+    auto-enables readahead, ``0`` keeps the serial loop); in-memory iterables
+    ignore it.
+    """
     if isinstance(source, STORE_TYPES):
         require_pyblaz(source)
-        return source.iter_chunks()
+        return source.iter_chunks(prefetch=prefetch)
     return iter(source)
 
 
-def aligned_chunks(sources: tuple) -> Iterator[tuple]:
-    """Yield aligned chunk tuples across sources, enforcing identical chunking."""
-    iterators = [source_chunks(source) for source in sources]
+def aligned_chunks(sources: tuple, *, prefetch: int | None = None) -> Iterator[tuple]:
+    """Yield aligned chunk tuples across sources, enforcing identical chunking.
+
+    With ``prefetch`` enabled (the default auto mode), every store source
+    reads ahead through its own :class:`~repro.streaming.ChunkPrefetcher`;
+    the lockstep zip below consumes them jointly, so multi-source sweeps
+    (dot, covariance, structural binaries) pipeline all their inputs at once.
+    Abandoning or closing this generator closes every source iterator, which
+    shuts the prefetchers' fetch pools down promptly.
+    """
+    iterators = [source_chunks(source, prefetch=prefetch) for source in sources]
     sentinel = object()
-    while True:
-        chunks = tuple(next(iterator, sentinel) for iterator in iterators)
-        if all(chunk is sentinel for chunk in chunks):
-            return
-        if any(chunk is sentinel for chunk in chunks):
-            raise ValueError(
-                "binary compressed-domain ops require identically chunked "
-                "sources (one ran out of chunks early)"
-            )
-        shapes = {tuple(chunk.shape) for chunk in chunks}
-        if len(shapes) > 1:
-            raise ValueError(
-                f"chunk shapes differ ({' vs '.join(map(str, shapes))}); "
-                "recompress with matching slab_rows"
-            )
-        yield chunks
-        chunks = None  # release the previous chunk tuple before decoding the next
+    try:
+        while True:
+            chunks = tuple(next(iterator, sentinel) for iterator in iterators)
+            if all(chunk is sentinel for chunk in chunks):
+                return
+            if any(chunk is sentinel for chunk in chunks):
+                raise ValueError(
+                    "binary compressed-domain ops require identically chunked "
+                    "sources (one ran out of chunks early)"
+                )
+            shapes = {tuple(chunk.shape) for chunk in chunks}
+            if len(shapes) > 1:
+                raise ValueError(
+                    f"chunk shapes differ ({' vs '.join(map(str, shapes))}); "
+                    "recompress with matching slab_rows"
+                )
+            yield chunks
+            chunks = None  # release the previous chunk tuple before decoding the next
+    finally:
+        for iterator in iterators:
+            close = getattr(iterator, "close", None)
+            if close is not None:
+                close()
 
 
 def check_stores(sources: Sequence) -> None:

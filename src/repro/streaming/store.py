@@ -299,12 +299,23 @@ class CompressedStore:
         consults it before decoding, keyed by ``(path, chunk index)``.
         ``chunks_read`` keeps counting logical reads either way, so decode
         savings show up in the cache's own hit counters.
+    chunks_prefetched:
+        Chunk payloads fetched ahead of consumption by the readahead pipeline
+        (:mod:`repro.streaming.prefetch`) — distinct from :attr:`chunks_read`,
+        which counts only chunks actually consumed, so an aborted pipeline
+        shows ``chunks_prefetched > chunks_read`` instead of inflated reads.
+    preads:
+        Physical record reads issued (one per positional read syscall loop);
+        coalesced span reads make this smaller than the chunk count, which
+        the ``load_region`` syscall tests assert on.
     """
 
     def __init__(self, path, *, retry_policy: RetryPolicy | None = DEFAULT_READ_RETRY):
         self.path = Path(path)
         self._handle = open(self.path, "rb")
         self.chunks_read = 0
+        self.chunks_prefetched = 0
+        self.preads = 0
         self.read_retries = 0
         self.chunk_cache = None
         self.retry_policy = retry_policy
@@ -493,8 +504,11 @@ class CompressedStore:
         threads reading different chunks cannot interleave and decode each
         other's bytes; the non-POSIX fallback serializes seek+read behind the
         store lock instead.  Short positional reads (signal interruption) are
-        retried until the record is complete.
+        retried until the record is complete.  Each call counts one physical
+        read into :attr:`preads` (coalesced span reads issue one per span).
         """
+        with self._lock:
+            self.preads += 1
         if _HAVE_PREAD:
             fd = self._handle.fileno()
             pieces = []
@@ -516,14 +530,22 @@ class CompressedStore:
         with self._lock:
             self.read_retries += 1
 
-    def read_payload(self, index: int) -> bytes:
-        """Read (and for v3, verify) chunk ``index``'s raw record bytes.
+    def _note_prefetched(self, count: int) -> None:
+        """Count ``count`` payloads fetched ahead by the readahead pipeline."""
+        with self._lock:
+            self.chunks_prefetched += count
 
-        This is the one seam every chunk read goes through: fault-injection
-        hooks fire here, version-3 checksums are verified here, and transient
-        failures — an ``OSError``, or a checksum mismatch a re-read could
-        clear — are retried per :attr:`retry_policy`.  The verify/repair CLI
-        also uses it to copy good records verbatim.
+    def _note_read(self) -> None:
+        """Count one consumed (logical) chunk read, as :meth:`read_chunk` does."""
+        with self._lock:
+            self.chunks_read += 1
+
+    def _record_extent(self, index: int) -> tuple[int, int, int | None]:
+        """Chunk ``index``'s file extent as ``(offset, n_bytes, crc | None)``.
+
+        Version-1 stores derive the byte count from the shared settings (the
+        table stores only offsets); v2 records have no checksum.  This is what
+        the span coalescer groups on.
         """
         offset, n_bytes, n_rows, _, crc = self._chunks[index]
         if n_bytes is None:  # v1: byte count derives from the settings
@@ -533,6 +555,18 @@ class CompressedStore:
             n_bytes = float_bytes(n_blocks, settings.float_format) + (
                 n_blocks * settings.kept_per_block * settings.index_dtype.itemsize
             )
+        return offset, n_bytes, crc
+
+    def read_payload(self, index: int) -> bytes:
+        """Read (and for v3, verify) chunk ``index``'s raw record bytes.
+
+        This is the one seam every chunk read goes through: fault-injection
+        hooks fire here, version-3 checksums are verified here, and transient
+        failures — an ``OSError``, or a checksum mismatch a re-read could
+        clear — are retried per :attr:`retry_policy`.  The verify/repair CLI
+        also uses it to copy good records verbatim.
+        """
+        offset, n_bytes, crc = self._record_extent(index)
         path = str(self.path)
 
         def attempt() -> bytes:
@@ -559,12 +593,74 @@ class CompressedStore:
             on_retry=self._note_retry,
         )
 
+    def read_payload_span(self, indices) -> dict[int, bytes]:
+        """Read several chunks' record bytes, coalescing adjacent ones.
+
+        Adjacent records (within the coalescing budget) merge into **one**
+        positional read and are split in memory — the syscall-count win behind
+        the prefetch pipeline and the coalesced :meth:`load_region`.  The
+        semantics per chunk are exactly :meth:`read_payload`'s: fault hooks
+        fire per chunk index, version-3 CRCs verify per chunk, and any failure
+        inside a span falls back to the per-chunk seam with its full retry
+        policy (counting one retry for the failed span attempt).  Returns
+        ``{index: payload bytes}`` for every requested index.
+        """
+        from .prefetch import coalesce_spans
+
+        extents = [(index, *self._record_extent(index)[:2]) for index in indices]
+        crcs = {index: self._record_extent(index)[2] for index in indices}
+        path = str(self.path)
+        payloads: dict[int, bytes] = {}
+        for span in coalesce_spans(extents):
+            span_offset = span[0][1]
+            span_bytes = sum(n_bytes for _, _, n_bytes in span)
+            try:
+                plan = faults.active_plan()
+                if plan is not None:
+                    for index, _, _ in span:
+                        plan.before_chunk_read(path, index)
+                data = self._read_record(span_offset, span_bytes)
+                for index, offset, n_bytes in span:
+                    piece = data[offset - span_offset: offset - span_offset + n_bytes]
+                    if plan is not None:
+                        piece = plan.corrupt_record(path, index, piece)
+                    crc = crcs[index]
+                    if crc is not None and (
+                        len(piece) != n_bytes or zlib.crc32(piece) != crc
+                    ):
+                        raise IntegrityError(
+                            f"chunk {index} of store {path} failed its checksum "
+                            f"({len(piece)} of {n_bytes} bytes read)",
+                            path=path,
+                            chunk_index=index,
+                        )
+                    payloads[index] = piece
+            except (OSError, IntegrityError) as exc:
+                if self.retry_policy is None:
+                    raise
+                # one failed span attempt counts as one retry, then every
+                # chunk of the span re-reads through the per-chunk seam with
+                # its own full retry budget — transient faults recover exactly
+                # as they do on the synchronous path
+                self._note_retry(0, exc)
+                for index, _, _ in span:
+                    payloads[index] = self.read_payload(index)
+        return payloads
+
     def _decode_chunk(self, index: int):
         """Read chunk ``index``'s record and decode it (without counting it as read)."""
+        return self._chunk_from_payload(index, self.read_payload(index))
+
+    def _chunk_from_payload(self, index: int, data: bytes):
+        """Decode chunk ``index`` from its (already read) record ``data``.
+
+        The decode half of :meth:`_decode_chunk`, split out so the prefetch
+        pipeline can fetch payload bytes on worker threads and decode on the
+        consumer thread without re-reading.
+        """
         try:
             if self.version == 1:
-                return self._decode_v1_chunk(index)
-            data = self.read_payload(index)
+                return self._decode_v1_payload(index, data)
             return get_codec_class(self.codec_name).from_bytes(data)
         except CodecError:
             raise
@@ -575,7 +671,7 @@ class CompressedStore:
                 f"corrupt chunk {index} in {self.codec_name} store: {exc}"
             ) from exc
 
-    def _decode_v1_chunk(self, index: int) -> CompressedArray:
+    def _decode_v1_payload(self, index: int, data: bytes) -> CompressedArray:
         """Decode a raw version-1 maxima/indices record into a chunk array."""
         settings = self._settings
         n_rows = self._chunks[index][2]
@@ -583,7 +679,6 @@ class CompressedStore:
         n_blocks = settings.n_blocks(chunk_shape)
         maxima_nbytes = float_bytes(n_blocks, settings.float_format)
         indices_nbytes = n_blocks * settings.kept_per_block * settings.index_dtype.itemsize
-        data = self.read_payload(index)
         maxima = unpack_floats(data[:maxima_nbytes], n_blocks, settings.float_format)
         maxima = maxima.reshape(settings.block_grid_shape(chunk_shape))
         indices = np.frombuffer(
@@ -620,10 +715,73 @@ class CompressedStore:
             self.chunks_read += 1
         return chunk
 
-    def iter_chunks(self) -> Iterator:
-        """Yield every chunk's compressed object in row order."""
-        for index in range(self.n_chunks):
-            yield self.read_chunk(index)
+    def iter_chunks(self, *, prefetch: int | None = None) -> Iterator:
+        """Yield every chunk's compressed object in row order.
+
+        ``prefetch`` selects the pipelined readahead
+        (:class:`repro.streaming.ChunkPrefetcher`): ``None`` (the default)
+        enables it with an auto depth, a positive integer sets the in-flight
+        span window, and ``0`` restores the strictly serial read→decode loop.
+        Chunk order, values, counters and error positions are identical either
+        way — prefetching only overlaps record fetches with decoding.
+        """
+        from .prefetch import ChunkPrefetcher, resolve_depth
+
+        depth = resolve_depth(prefetch, n_chunks=self.n_chunks)
+        if depth == 0:
+            for index in range(self.n_chunks):
+                yield self.read_chunk(index)
+            return
+        fetcher = ChunkPrefetcher(self, depth=depth)
+        try:
+            yield from fetcher
+        finally:
+            fetcher.close()
+
+    def _iter_chunks_coalesced(self, indices) -> Iterator:
+        """Serially decode ``indices``'s chunks via coalesced span reads.
+
+        The no-thread sibling of the prefetcher used by :meth:`load_region`:
+        adjacent records merge into single positional reads (fewer syscalls —
+        see :attr:`preads`), cache consults and ``chunks_read`` accounting
+        match :meth:`read_chunk` exactly, and chunks yield as
+        ``(index, chunk)`` in request order.
+        """
+        from .prefetch import DEFAULT_SPAN_CHUNKS
+
+        cache = self.chunk_cache
+        path = str(self.path)
+        pending: list[int] = []
+        for index in indices:
+            if cache is not None:
+                chunk = cache.get((path, index))
+                if chunk is not None:
+                    yield from self._drain_span(pending)
+                    pending = []
+                    self._note_read()
+                    yield index, chunk
+                    continue
+            pending.append(index)
+            if len(pending) >= DEFAULT_SPAN_CHUNKS:
+                # drain per span so at most one span's payloads are resident,
+                # preserving load_region's chunk-bounded memory contract
+                yield from self._drain_span(pending)
+                pending = []
+        yield from self._drain_span(pending)
+
+    def _drain_span(self, pending: list) -> Iterator:
+        """Span-read, decode, cache and count the queued-up miss indices."""
+        if not pending:
+            return
+        payloads = self.read_payload_span(pending)
+        cache = self.chunk_cache
+        path = str(self.path)
+        for index in pending:
+            chunk = self._chunk_from_payload(index, payloads[index])
+            if cache is not None:
+                cache.put((path, index), chunk)
+            self._note_read()
+            yield index, chunk
 
     def decompress_chunk(self, chunk) -> np.ndarray:
         """Decompress one chunk object with the store's codec.
@@ -679,7 +837,10 @@ class CompressedStore:
         (missing trailing dimensions default to ``slice(None)``).  Steps along
         axis 0 must be positive.  Only the chunk records whose rows intersect the
         axis-0 range are read and decoded; memory use is bounded by the chunk
-        size, not the array size.
+        size, not the array size.  Adjacent intersecting records are read
+        through the coalescing reader — one positional read per span instead
+        of one per chunk (observable via :attr:`preads`), with byte-identical
+        results.
         """
         if not isinstance(region, tuple):
             region = (region,)
@@ -703,7 +864,8 @@ class CompressedStore:
             if step <= 0:
                 raise ValueError("load_region requires a positive step along axis 0")
 
-        parts = []
+        selected: list[int] = []
+        local_by_index: dict[int, slice] = {}
         for chunk_index, (_, _, n_rows, row_start, _) in enumerate(self._chunks):
             row_end = row_start + n_rows
             if row_end <= start or row_start >= stop:
@@ -716,9 +878,15 @@ class CompressedStore:
             global_stop = min(stop, row_end)
             if global_first >= global_stop:
                 continue
-            decompressed = self.decompress_chunk(self.read_chunk(chunk_index))
-            local = slice(global_first - row_start, global_stop - row_start, step)
-            parts.append(decompressed[(local,) + region[1:]])
+            selected.append(chunk_index)
+            local_by_index[chunk_index] = slice(
+                global_first - row_start, global_stop - row_start, step
+            )
+
+        parts = []
+        for chunk_index, chunk in self._iter_chunks_coalesced(selected):
+            decompressed = self.decompress_chunk(chunk)
+            parts.append(decompressed[(local_by_index[chunk_index],) + region[1:]])
 
         if parts:
             assembled = np.concatenate(parts, axis=0)

@@ -258,3 +258,69 @@ class TestShardedStoreCorruption:
                 assert np.array_equal(faulted.load(), baseline)
                 assert faulted.read_retries == 1
         assert plan.fired["bit_flip"] == 1
+
+
+class TestPrefetchChaos:
+    """Fault injection composes with the readahead pipeline (PR 10): a fault
+    inside a prefetched span either retries to bit-identical chunks or
+    surfaces the same typed error as the serial loop — and an aborted
+    pipeline never leaks its fetch threads."""
+
+    @staticmethod
+    def _decoded(store, *, prefetch):
+        return [store.decompress_chunk(chunk).tobytes()
+                for chunk in store.iter_chunks(prefetch=prefetch)]
+
+    @pytest.mark.parametrize("kind", ["latency", "short_read", "bit_flip"])
+    def test_transient_fault_in_span_retries_to_identical(self, store, kind):
+        baseline = self._decoded(store, prefetch=0)
+        rule = FaultRule(kind, chunk_index=1, delay_seconds=0.005)
+        with inject(rule, seed=3) as plan:
+            with _reopen(store) as faulted:
+                assert self._decoded(faulted, prefetch=4) == baseline
+                expected_retries = 0 if kind == "latency" else 1
+                assert faulted.read_retries == expected_retries
+        assert plan.fired[kind] == 1  # the fault hit the prefetched span
+
+    @pytest.mark.parametrize("kind", ["bit_flip", "short_read"])
+    def test_persistent_corruption_is_typed_under_prefetch(self, store, kind):
+        rule = FaultRule(kind, chunk_index=1, times=50)
+        with inject(rule, seed=3):
+            with _reopen(store) as faulted:
+                with pytest.raises(IntegrityError, match="chunk 1") as info:
+                    self._decoded(faulted, prefetch=4)
+                assert info.value.chunk_index == 1
+
+    def test_no_retry_policy_surfaces_span_fault(self, store):
+        # without a retry policy the span's first error propagates, exactly
+        # like the serial loop's contract
+        with inject(FaultRule("bit_flip", chunk_index=0, times=50), seed=3):
+            with CompressedStore(store.path, retry_policy=None) as faulted:
+                with pytest.raises(IntegrityError):
+                    self._decoded(faulted, prefetch=4)
+
+    def test_aborted_pipeline_under_faults_leaks_no_threads(self, store):
+        import threading
+
+        baseline_threads = threading.active_count()
+        rule = FaultRule("latency", delay_seconds=0.005, times=50)
+        with inject(rule, seed=3):
+            with _reopen(store) as faulted:
+                iterator = faulted.iter_chunks(prefetch=4)
+                next(iterator)
+                iterator.close()  # mid-pipeline abort with spans in flight
+                assert faulted.chunks_prefetched > faulted.chunks_read
+        assert threading.active_count() == baseline_threads
+
+    def test_engine_sweep_with_prefetch_matches_under_faults(self, store):
+        baseline = engine.evaluate({"m": expr.mean(store),
+                                    "n": expr.l2_norm(store)})
+        rules = [FaultRule("os_error", chunk_index=0),
+                 FaultRule("bit_flip", chunk_index=2)]
+        with inject(*rules, seed=3) as plan:
+            with _reopen(store) as faulted:
+                chaotic = engine.evaluate({"m": expr.mean(faulted),
+                                           "n": expr.l2_norm(faulted)},
+                                          prefetch=4)
+        assert chaotic == baseline  # scalar-exact through the pipeline
+        assert plan.fired["os_error"] == 1 and plan.fired["bit_flip"] == 1

@@ -86,7 +86,10 @@ class TestSingleClient:
         assert stats["requests"]["served"] == 1
         assert stats["plans"]["executed"] == 1
         assert stats["latency_seconds"]["count"] == 1
-        assert stats["cache"]["misses"] > 0  # cold store populated the cache
+        # the cold store populated the cache — either the sweep itself
+        # (misses) or the scheduler's warm path (prefetch_issued), depending
+        # on which thread reached the chunks first
+        assert stats["cache"]["misses"] + stats["cache"]["prefetch_issued"] > 0
         assert listing["a"]["codec"] == "pyblaz"
         assert listing["a"]["shape"] == [48, 12]
 

@@ -276,6 +276,23 @@ class TestStreamOpsEvaluateAndJson:
         assert payload["passes"] == 1          # no two-pass op requested
         assert payload["seconds"] >= 0.0
         assert payload["stores"] == [str(store_a), str(store_b)]
+        # pipelined-I/O contract fields: time blocked fetching chunks, and
+        # the resolved readahead depth (auto mode resolves to a positive int)
+        assert payload["io_seconds"] >= 0.0
+        assert payload["io_seconds"] <= payload["seconds"]
+        assert payload["prefetch_depth"] > 0
+
+    def test_evaluate_json_prefetch_zero_reports_depth_zero(self, store_pair,
+                                                            capsys):
+        import json
+
+        store_a, *_ = store_pair
+        capsys.readouterr()
+        assert main(["stream-ops", "evaluate", str(store_a),
+                     "--op", "mean", "--json", "--prefetch", "0"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["prefetch_depth"] == 0
+        assert payload["io_seconds"] >= 0.0
 
     def test_two_pass_subset_reports_two_passes(self, store_pair, capsys):
         import json

@@ -1,0 +1,291 @@
+"""Unit tests for the pipelined chunk I/O layer (repro.streaming.prefetch).
+
+The invariant under test everywhere: a prefetched sweep yields the same
+chunks, in the same order, decoding to the same bytes, with the same
+``chunks_read`` accounting as the serial loop — only the physical read
+pattern (``preads``) and the overlap change.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionSettings
+from repro.engine import expr, plan
+from repro.streaming import (
+    ChunkedCompressor,
+    ChunkPrefetcher,
+    CompressedStore,
+    ShardedStore,
+    append_shard,
+    coalesce_spans,
+    init_sharded_store,
+    load_region,
+    resolve_depth,
+    warm_store_cache,
+)
+from repro.streaming.sources import aligned_chunks
+
+from tests.conftest import smooth_field
+
+
+@pytest.fixture
+def settings() -> CompressionSettings:
+    return CompressionSettings(block_shape=(4, 4), float_format="float32",
+                               index_dtype="int16")
+
+
+@pytest.fixture
+def field() -> np.ndarray:
+    return smooth_field((96, 20), seed=11)
+
+
+@pytest.fixture
+def store(tmp_path, settings, field) -> CompressedStore:
+    with ChunkedCompressor(settings, slab_rows=8).compress_to_store(
+        field, tmp_path / "field.pblzc"
+    ) as opened:
+        yield opened
+
+
+def _chunk_bytes(store, *, prefetch):
+    """Every chunk's decoded bytes, in order, via ``iter_chunks``."""
+    return [store.decompress_chunk(chunk).tobytes()
+            for chunk in store.iter_chunks(prefetch=prefetch)]
+
+
+class TestResolveDepth:
+    def test_none_is_auto(self):
+        assert resolve_depth(None) == 4  # 2 x default workers
+        assert resolve_depth(None, workers=3) == 6
+
+    def test_auto_disables_for_tiny_stores(self):
+        assert resolve_depth(None, n_chunks=2) == 0
+        assert resolve_depth(None, n_chunks=3) == 0
+        assert resolve_depth(None, n_chunks=4) > 0
+
+    def test_zero_and_explicit(self):
+        assert resolve_depth(0) == 0
+        assert resolve_depth(0, n_chunks=1000) == 0
+        assert resolve_depth(7, n_chunks=2) == 7  # explicit beats tiny-store
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_depth(-1)
+
+
+class TestCoalesceSpans:
+    def test_adjacent_records_merge(self):
+        extents = [(0, 0, 100), (1, 100, 50), (2, 150, 25)]
+        assert coalesce_spans(extents) == [extents]
+
+    def test_gap_splits(self):
+        extents = [(0, 0, 100), (1, 200, 50)]
+        assert coalesce_spans(extents) == [[extents[0]], [extents[1]]]
+
+    def test_byte_budget_splits(self):
+        extents = [(0, 0, 60), (1, 60, 60)]
+        assert coalesce_spans(extents, max_bytes=100) == [[extents[0]],
+                                                          [extents[1]]]
+
+    def test_chunk_budget_splits(self):
+        extents = [(index, index * 10, 10) for index in range(5)]
+        spans = coalesce_spans(extents, max_chunks=2)
+        assert [len(span) for span in spans] == [2, 2, 1]
+
+    def test_oversized_record_gets_own_span(self):
+        extents = [(0, 0, 10), (1, 10, 500), (2, 510, 10)]
+        spans = coalesce_spans(extents, max_bytes=100)
+        assert spans == [[extents[0]], [extents[1]], [extents[2]]]
+
+    def test_empty(self):
+        assert coalesce_spans([]) == []
+
+
+class TestBitIdentity:
+    def test_iter_chunks_identical_across_depths(self, store):
+        serial = _chunk_bytes(store, prefetch=0)
+        for depth in (None, 1, 2, 8, 64):
+            assert _chunk_bytes(store, prefetch=depth) == serial
+
+    def test_prefetcher_reads_fewer_times(self, tmp_path, settings, field):
+        with ChunkedCompressor(settings, slab_rows=8).compress_to_store(
+            field, tmp_path / "serial.pblzc"
+        ) as serial_store:
+            list(serial_store.iter_chunks(prefetch=0))
+            serial_preads = serial_store.preads
+        with ChunkedCompressor(settings, slab_rows=8).compress_to_store(
+            field, tmp_path / "piped.pblzc"
+        ) as piped_store:
+            list(piped_store.iter_chunks(prefetch=4))
+            piped_preads = piped_store.preads
+        assert piped_preads < serial_preads
+
+    def test_plan_values_identical(self, store):
+        x = expr.source(store)
+        outputs = {"mean": expr.mean(x), "l2": expr.l2_norm(x),
+                   "var": expr.variance(x)}
+        serial = plan(outputs).execute(prefetch=0)
+        piped = plan(outputs).execute(prefetch=4)
+        assert serial == piped  # exact equality: bit-identical folds
+
+    def test_aligned_multi_source(self, tmp_path, settings, field):
+        other = smooth_field((96, 20), seed=12)
+        with ChunkedCompressor(settings, slab_rows=8).compress_to_store(
+            field, tmp_path / "a.pblzc"
+        ) as store_a, ChunkedCompressor(settings, slab_rows=8).compress_to_store(
+            other, tmp_path / "b.pblzc"
+        ) as store_b:
+            def sweep(prefetch):
+                return [
+                    (store_a.decompress_chunk(a).tobytes(),
+                     store_b.decompress_chunk(b).tobytes())
+                    for a, b in aligned_chunks((store_a, store_b),
+                                               prefetch=prefetch)
+                ]
+
+            serial = sweep(0)
+            piped = sweep(4)
+        assert piped == serial
+
+
+class TestAccounting:
+    def test_prefetched_and_read_match_on_full_sweep(self, store):
+        list(store.iter_chunks(prefetch=4))
+        assert store.chunks_read == store.n_chunks
+        assert store.chunks_prefetched == store.n_chunks
+
+    def test_serial_sweep_prefetches_nothing(self, store):
+        list(store.iter_chunks(prefetch=0))
+        assert store.chunks_read == store.n_chunks
+        assert store.chunks_prefetched == 0
+
+    def test_aborted_pipeline_prefetched_exceeds_read(self, store):
+        iterator = store.iter_chunks(prefetch=4)
+        next(iterator)
+        iterator.close()
+        assert store.chunks_read == 1
+        assert store.chunks_prefetched > store.chunks_read
+
+    def test_cache_hit_counters_match_serial(self, tmp_path, settings, field):
+        from repro.serving import ChunkCache
+
+        def sweep(name, prefetch):
+            cache = ChunkCache(max_bytes=64 * 1024 * 1024)
+            with ChunkedCompressor(settings, slab_rows=8).compress_to_store(
+                field, tmp_path / name
+            ) as opened:
+                opened.chunk_cache = cache
+                list(opened.iter_chunks(prefetch=prefetch))
+                list(opened.iter_chunks(prefetch=prefetch))
+            return cache.hits, cache.misses
+
+        assert sweep("piped.pblzc", 4) == sweep("serial.pblzc", 0)
+
+
+class TestLoadRegion:
+    def test_region_coalesced_and_identical(self, tmp_path, settings, field):
+        def read(name, region):
+            with ChunkedCompressor(settings, slab_rows=8).compress_to_store(
+                field, tmp_path / name
+            ) as opened:
+                out = load_region(opened, region)
+                return out, opened.preads
+
+        region = (slice(10, 70), slice(None))
+        coalesced, preads = read("region.pblzc", region)
+        # 8 chunks selected (rows 8..72): coalescing caps the payload reads
+        # at ceil(8 / span_chunks) + the header reads done at open
+        assert preads < 8
+        with ChunkedCompressor(settings, slab_rows=8).compress_to_store(
+            field, tmp_path / "whole.pblzc"
+        ) as opened:
+            whole = opened.load()
+        assert np.array_equal(coalesced, whole[region])
+
+
+class TestLifecycle:
+    def test_abort_leaks_no_threads(self, store):
+        baseline = threading.active_count()
+        iterator = store.iter_chunks(prefetch=4)
+        next(iterator)
+        iterator.close()
+        assert threading.active_count() == baseline
+
+    def test_garbage_collected_prefetcher_shuts_down(self, store):
+        baseline = threading.active_count()
+        prefetcher = ChunkPrefetcher(store, depth=4)
+        iterator = iter(prefetcher)
+        next(iterator)
+        del prefetcher, iterator
+        import gc
+        gc.collect()
+        assert threading.active_count() == baseline
+
+    def test_exhausted_iteration_shuts_down(self, store):
+        baseline = threading.active_count()
+        list(store.iter_chunks(prefetch=4))
+        assert threading.active_count() == baseline
+
+
+class TestSharded:
+    @pytest.fixture
+    def sharded_path(self, tmp_path, settings):
+        path = tmp_path / "grown.shards"
+        init_sharded_store(path, smooth_field((64, 20), seed=1), settings,
+                           slab_rows=8).close()
+        append_shard(path, smooth_field((40, 20), seed=2), slab_rows=8).close()
+        return path
+
+    def test_sharded_iter_identical_across_boundaries(self, sharded_path):
+        with ShardedStore(sharded_path) as store:
+            serial = _chunk_bytes(store, prefetch=0)
+        with ShardedStore(sharded_path) as store:
+            piped = _chunk_bytes(store, prefetch=4)
+            assert store.chunks_prefetched == store.n_chunks
+        assert piped == serial
+
+    def test_sharded_load_region_identical(self, sharded_path):
+        region = (slice(30, 90), slice(2, 18))
+        with ShardedStore(sharded_path) as store:
+            expected = store.load()[region]
+        with ShardedStore(sharded_path) as store:
+            assert np.array_equal(load_region(store, region), expected)
+
+
+class TestWarmStoreCache:
+    def test_warms_and_counts(self, store):
+        from repro.serving import ChunkCache
+
+        cache = ChunkCache(max_bytes=64 * 1024 * 1024)
+        store.chunk_cache = cache
+        warmed = warm_store_cache(store)
+        assert warmed == store.n_chunks
+        assert store.chunks_prefetched == store.n_chunks
+        assert cache.prefetch_issued == store.n_chunks
+        assert warm_store_cache(store) == 0  # already warm
+        # the warmed entries serve the sweep: no further reads
+        list(store.iter_chunks(prefetch=0))
+        assert cache.prefetch_used == store.n_chunks
+
+    def test_no_cache_is_noop(self, store):
+        assert store.chunk_cache is None
+        assert warm_store_cache(store) == 0
+        assert store.chunks_prefetched == 0
+
+
+class TestPlanStats:
+    def test_io_seconds_and_depth_recorded(self, store):
+        built = plan({"mean": expr.mean(expr.source(store))})
+        built.execute(prefetch=4)
+        stats = built.last_execution
+        assert stats["prefetch_depth"] == 4
+        assert 0.0 <= stats["io_seconds"]
+
+    def test_depth_zero_recorded(self, store):
+        built = plan({"mean": expr.mean(expr.source(store))})
+        built.execute(prefetch=0)
+        assert built.last_execution["prefetch_depth"] == 0

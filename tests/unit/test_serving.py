@@ -113,7 +113,9 @@ class TestChunkCache:
         cache = ChunkCache(max_bytes=123)
         snap = cache.snapshot()
         assert snap == {"entries": 0, "bytes": 0, "max_bytes": 123, "hits": 0,
-                        "misses": 0, "evictions": 0, "hit_rate": 0.0}
+                        "misses": 0, "evictions": 0, "hit_rate": 0.0,
+                        "prefetch_issued": 0, "prefetch_used": 0,
+                        "prefetch_wasted": 0}
 
     def test_store_reads_populate_and_hit_cache(self, store_path):
         from repro.streaming import CompressedStore
@@ -323,3 +325,85 @@ class TestServiceMetrics:
         cache = ChunkCache()
         snap = ServiceMetrics(cache=cache).snapshot()
         assert snap["cache"]["max_bytes"] == cache.max_bytes
+
+
+class TestPrefetchCounters:
+    """The warm-path effectiveness ledger (PR 10): issued / used / wasted."""
+
+    class _Rec:
+        def __init__(self):
+            self.data = np.zeros(100, dtype=np.float64)  # 800 bytes
+
+    def test_issued_then_used_on_hit(self):
+        cache = ChunkCache(max_bytes=10_000)
+        record = self._Rec()
+        cache.put(("s", 0), record, prefetched=True)
+        assert cache.prefetch_issued == 1
+        assert cache.get(("s", 0)) is record
+        assert cache.prefetch_used == 1
+        cache.get(("s", 0))  # only the first hit counts the entry as used
+        assert cache.prefetch_used == 1
+        assert cache.prefetch_wasted == 0
+
+    def test_evicted_before_use_is_wasted(self):
+        cache = ChunkCache(max_bytes=1_700)  # fits two 800-byte records
+        cache.put(("s", 0), self._Rec(), prefetched=True)
+        cache.put(("s", 1), self._Rec())
+        cache.put(("s", 2), self._Rec())  # evicts the prefetched entry
+        assert cache.prefetch_issued == 1
+        assert cache.prefetch_wasted == 1
+        assert cache.prefetch_used == 0
+
+    def test_invalidate_counts_unused_as_wasted(self):
+        cache = ChunkCache(max_bytes=10_000)
+        cache.put(("a", 0), self._Rec(), prefetched=True)
+        cache.put(("b", 0), self._Rec(), prefetched=True)
+        cache.get(("a", 0))  # a:0 is used before the invalidation
+        cache.invalidate("a")
+        assert cache.prefetch_wasted == 0  # a:0 was already used
+        cache.invalidate(None)  # full clear: b:0 never got its hit
+        assert cache.prefetch_wasted == 1
+        assert cache.prefetch_used == 1
+
+    def test_contains_moves_no_counters(self):
+        cache = ChunkCache(max_bytes=10_000)
+        cache.put(("s", 0), self._Rec(), prefetched=True)
+        assert ("s", 0) in cache and ("s", 1) not in cache
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.prefetch_used == 0  # membership probes are silent
+
+    def test_snapshot_includes_prefetch_counters(self):
+        cache = ChunkCache(max_bytes=10_000)
+        cache.put(("s", 0), self._Rec(), prefetched=True)
+        snap = cache.snapshot()
+        assert snap["prefetch_issued"] == 1
+        assert snap["prefetch_used"] == 0
+        assert snap["prefetch_wasted"] == 0
+
+    def test_catalog_prefetch_warms_through_shared_handle(self, store_path):
+        cache = ChunkCache()
+        catalog = StoreCatalog({"x": store_path}, cache=cache)
+        warmed = catalog.prefetch("x")
+        assert warmed == catalog.get("x").n_chunks
+        assert cache.prefetch_issued == warmed
+        assert catalog.prefetch("x") == 0  # idempotent: already warm
+        # the warmed chunks serve the next sweep without any further reads
+        preads_before = catalog.get("x").preads
+        list(catalog.get("x").iter_chunks(prefetch=0))
+        assert catalog.get("x").preads == preads_before
+        assert cache.prefetch_used == warmed
+        catalog.close()
+
+    def test_catalog_prefetch_without_cache_is_noop(self, store_path):
+        catalog = StoreCatalog({"x": store_path})
+        assert catalog.prefetch("x") == 0
+        catalog.close()
+
+    def test_metrics_record_prefetch(self):
+        metrics = ServiceMetrics()
+        snap = metrics.snapshot()
+        assert snap["prefetch"] == {"batches": 0, "chunks_warmed": 0}
+        metrics.record_prefetch(6)
+        metrics.record_prefetch(2)
+        snap = metrics.snapshot()
+        assert snap["prefetch"] == {"batches": 2, "chunks_warmed": 8}
